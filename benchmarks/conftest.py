@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks reproduce the paper's evaluation on the *full* synthetic
+benchmark (about 12,000 standard cells).  Baseline preparation (placement,
+logic simulation, power estimation, thermal solve) is shared per workload
+through session-scoped fixtures so each figure/table only pays for its own
+strategy evaluations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    build_synthetic_circuit,
+    concentrated_hotspot_workload,
+    scattered_hotspots_workload,
+)
+from repro.flow import ExperimentSetup
+from repro.placement import place_design
+
+
+@pytest.fixture(scope="session")
+def full_circuit():
+    """The full nine-unit, ~12k-cell synthetic benchmark."""
+    return build_synthetic_circuit()
+
+
+@pytest.fixture(scope="session")
+def scattered_setup(full_circuit):
+    """Baseline for the paper's first test set (four scattered small hotspots)."""
+    placement = place_design(full_circuit, utilization=0.85)
+    workload = scattered_hotspots_workload(full_circuit, regions=placement.regions)
+    return ExperimentSetup.prepare(
+        full_circuit, workload, num_cycles=16, batch_size=16, seed=2010
+    )
+
+
+@pytest.fixture(scope="session")
+def concentrated_setup(full_circuit):
+    """Baseline for the paper's second test set (one large concentrated hotspot)."""
+    workload = concentrated_hotspot_workload(full_circuit)
+    return ExperimentSetup.prepare(
+        full_circuit, workload, num_cycles=16, batch_size=16, seed=2010
+    )

@@ -1,0 +1,72 @@
+"""Figure 5: power and thermal profiles of the first test set.
+
+The paper shows, side by side, the 40x40 power profile and the 40x40
+thermal profile of the scattered-hotspot configuration and observes that
+"there is significant correlation between highly power consuming area and
+thermal hotspots".  This benchmark regenerates both profiles, prints them
+as coarse text maps, and checks that correlation quantitatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.power import build_power_map
+from repro.thermal import simulate_placement
+
+
+def _ascii_map(values: np.ndarray, levels: str = " .:-=+*#%@") -> str:
+    """Render a 2-D array as a coarse ASCII heat map (top row = max y)."""
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = []
+    for row in values[::-1]:
+        indices = ((row - lo) / span * (len(levels) - 1)).astype(int)
+        rows.append("".join(levels[i] for i in indices))
+    return "\n".join(rows)
+
+
+def test_fig5_power_and_thermal_profiles(scattered_setup, benchmark):
+    setup = scattered_setup
+
+    def run():
+        power_map = build_power_map(setup.placement, setup.power, nx=40, ny=40)
+        thermal_map = simulate_placement(
+            setup.placement, setup.power, package=setup.package, nx=40, ny=40
+        )
+        return power_map, thermal_map
+
+    power_map, thermal_map = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nFigure 5 (left): power profile [W per thermal cell], 40x40 grid")
+    print(_ascii_map(power_map.power_w[::2, ::2]))
+    print(f"total power: {power_map.total_power * 1e3:.2f} mW, "
+          f"peak bin: {power_map.power_w.max() * 1e6:.1f} uW")
+    print("\nFigure 5 (right): thermal profile [C], 40x40 grid")
+    print(_ascii_map(thermal_map.temperatures[::2, ::2]))
+    print(f"peak {thermal_map.peak:.2f} C, rise {thermal_map.peak_rise:.2f} K, "
+          f"gradient {thermal_map.gradient:.2f} K")
+
+    # Paper: peak temperatures range from a few degrees to ~25 K above
+    # ambient across configurations; this configuration must land inside.
+    assert 2.0 < thermal_map.peak_rise < 30.0
+
+    # Paper: "significant correlation between highly power consuming area
+    # and thermal hotspots".  The correlation is evaluated over the core
+    # area only (the die margin holds no cells, only spread heat).
+    floorplan = setup.placement.floorplan
+    nx, ny = power_map.nx, power_map.ny
+    ix0 = int(floorplan.die_margin / power_map.bin_width_um)
+    iy0 = int(floorplan.die_margin / power_map.bin_height_um)
+    core_power = power_map.power_w[iy0: ny - iy0, ix0: nx - ix0].ravel()
+    core_rise = thermal_map.rise_map()[iy0: ny - iy0, ix0: nx - ix0].ravel()
+    correlation = float(np.corrcoef(core_power, core_rise)[0, 1])
+    print(f"power/temperature correlation over the core: {correlation:.3f}")
+    assert correlation > 0.35
+
+    # The hottest thermal cell must sit in a high-power neighbourhood.
+    iy, ix = thermal_map.peak_location()
+    neighbourhood = power_map.power_w[
+        max(iy - 3, 0): iy + 4, max(ix - 3, 0): ix + 4
+    ]
+    assert neighbourhood.max() > np.percentile(power_map.power_w, 90)

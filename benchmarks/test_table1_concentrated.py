@@ -1,0 +1,77 @@
+"""Table I: concentrated hotspot, Default versus Empty Row Insertion.
+
+The paper's second test set has "a single, large, concentrated hotspot".
+Table I compares the Default scheme at 16.1% and 32.2% area overhead with
+ERI inserting 20 and 40 rows (the same overheads), and reports that ERI
+achieves larger peak-temperature reductions (13.1% vs 11.3% and 28.6% vs
+20.2%), with the advantage growing at the larger overhead.
+
+The shape reproduced here: ERI beats Default at equal overhead at both
+points, and the ERI advantage widens from the small to the large overhead.
+The hotspot wrapper is also evaluated to confirm the paper's remark that it
+"is not suitable for large hotspots".
+"""
+
+from __future__ import annotations
+
+from repro.analysis import table1_report
+from repro.flow import concentrated_hotspot_table, evaluate_strategy
+
+#: Inserted-row counts from the paper's Table I.
+ROW_COUNTS = (20, 40)
+
+
+def test_table1_default_vs_eri(concentrated_setup, benchmark):
+    setup = concentrated_setup
+
+    rows = benchmark.pedantic(
+        lambda: concentrated_hotspot_table(setup, row_counts=ROW_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(table1_report(rows))
+    print(f"baseline core: {setup.placement.floorplan.core_width:.0f} x "
+          f"{setup.placement.floorplan.core_height:.0f} um, "
+          f"{setup.placement.floorplan.num_rows} rows; "
+          f"peak rise {setup.thermal_map.peak_rise:.2f} K")
+
+    default_small, default_large, eri_small, eri_large = rows
+
+    # Everything reduces the peak temperature.
+    for outcome in rows:
+        assert outcome.temperature_reduction > 0.0
+
+    # ERI beats Default at (approximately) the same area overhead.
+    assert eri_small.temperature_reduction > default_small.temperature_reduction
+    assert eri_large.temperature_reduction > default_large.temperature_reduction
+
+    # The ERI advantage grows with the overhead (13.1-11.3 -> 28.6-20.2 in
+    # the paper).
+    gap_small = eri_small.temperature_reduction - default_small.temperature_reduction
+    gap_large = eri_large.temperature_reduction - default_large.temperature_reduction
+    assert gap_large > gap_small
+
+    # More rows help more.
+    assert eri_large.temperature_reduction > eri_small.temperature_reduction
+    assert eri_small.inserted_rows == ROW_COUNTS[0]
+    assert eri_large.inserted_rows == ROW_COUNTS[1]
+
+
+def test_table1_wrapper_unsuited_for_large_hotspots(concentrated_setup, benchmark):
+    setup = concentrated_setup
+
+    def run():
+        overhead = ROW_COUNTS[0] / setup.placement.floorplan.num_rows
+        hw = evaluate_strategy(setup, "hw", overhead, analyze_timing=False)
+        eri = evaluate_strategy(setup, "eri", overhead, analyze_timing=False)
+        return hw, eri
+
+    hw, eri = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nconcentrated hotspot at ~{hw.requested_overhead * 100:.1f}% overhead: "
+          f"HW reduction {hw.temperature_reduction * 100:.1f}% vs "
+          f"ERI {eri.temperature_reduction * 100:.1f}%")
+    # "the hotspot wrapper method is not suitable for large hotspots":
+    # ERI must clearly outperform HW here.
+    assert eri.temperature_reduction > hw.temperature_reduction

@@ -1,0 +1,37 @@
+"""repro: reproduction of "Post-placement Temperature Reduction Techniques".
+
+A self-contained Python library reproducing Liu & Nannarelli et al.,
+DATE 2010: two post-placement techniques — empty row insertion and the
+hotspot wrapper — that reduce peak on-chip temperature by allocating a
+given area overhead as whitespace concentrated in thermal hotspots, plus
+every substrate the evaluation needs (synthetic benchmark generation,
+row-based placement, power estimation, an RC thermal simulator, and static
+timing analysis).
+
+Typical usage::
+
+    from repro import bench, core, flow
+
+    netlist = bench.build_synthetic_circuit()
+    workload = bench.scattered_hotspots_workload(netlist)
+    setup = flow.ExperimentSetup.prepare(netlist, workload)
+    outcome = flow.evaluate_strategy(setup, "eri", area_overhead=0.15)
+    print(outcome.temperature_reduction)
+"""
+
+from . import analysis, bench, core, flow, netlist, placement, power, thermal, timing
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "bench",
+    "core",
+    "flow",
+    "netlist",
+    "placement",
+    "power",
+    "thermal",
+    "timing",
+    "__version__",
+]

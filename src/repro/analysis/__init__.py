@@ -1,0 +1,26 @@
+"""Experiment metrics and plain-text reporting."""
+
+from .metrics import (
+    ComparisonMetrics,
+    area_overhead,
+    compare,
+    gradient_reduction,
+    temperature_reduction,
+    timing_overhead,
+    wirelength_overhead,
+)
+from .report import figure6_report, format_table, percent, table1_report
+
+__all__ = [
+    "ComparisonMetrics",
+    "area_overhead",
+    "compare",
+    "gradient_reduction",
+    "temperature_reduction",
+    "timing_overhead",
+    "wirelength_overhead",
+    "figure6_report",
+    "format_table",
+    "percent",
+    "table1_report",
+]

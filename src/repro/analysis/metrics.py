@@ -1,0 +1,117 @@
+"""Evaluation metrics.
+
+The paper's evaluation reports relative quantities: peak-temperature
+reduction versus area overhead (Figure 6, Table I) and the timing overhead
+of applying the techniques.  This module collects those metric definitions
+in one place so the experiment driver, the tests and the benchmark harness
+all compute them identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..placement import Placement
+from ..thermal import ThermalMap
+from ..timing import TimingReport
+
+
+def temperature_reduction(baseline: ThermalMap, modified: ThermalMap) -> float:
+    """Fractional reduction of the peak temperature rise above ambient.
+
+    ``(rise_baseline - rise_modified) / rise_baseline`` — the quantity on
+    the y axis of the paper's Figure 6 and in the last column of Table I.
+
+    Raises:
+        ValueError: If the baseline peak rise is not positive.
+    """
+    return modified.reduction_versus(baseline)
+
+
+def gradient_reduction(baseline: ThermalMap, modified: ThermalMap) -> float:
+    """Fractional reduction of the on-die temperature gradient."""
+    base = baseline.gradient
+    if base <= 0.0:
+        return 0.0
+    return (base - modified.gradient) / base
+
+
+def area_overhead(baseline: Placement, modified: Placement) -> float:
+    """Fractional core-area increase of ``modified`` over ``baseline``."""
+    base = baseline.floorplan.core_area
+    if base <= 0.0:
+        raise ValueError("baseline core area must be positive")
+    return modified.floorplan.core_area / base - 1.0
+
+
+def timing_overhead(baseline: TimingReport, modified: TimingReport) -> float:
+    """Fractional critical-path increase of ``modified`` over ``baseline``."""
+    return modified.overhead_versus(baseline)
+
+
+def wirelength_overhead(baseline: Placement, modified: Placement) -> float:
+    """Fractional total-HPWL increase of ``modified`` over ``baseline``."""
+    base = baseline.total_hpwl()
+    if base <= 0.0:
+        return 0.0
+    return modified.total_hpwl() / base - 1.0
+
+
+@dataclass
+class ComparisonMetrics:
+    """All before/after metrics for one transformation.
+
+    Attributes:
+        area_overhead: Core-area overhead fraction.
+        temperature_reduction: Peak temperature-rise reduction fraction.
+        gradient_reduction: Gradient reduction fraction.
+        timing_overhead: Critical-path increase fraction (``None`` when
+            timing was not analysed).
+        wirelength_overhead: Total HPWL increase fraction.
+        peak_rise_baseline: Baseline peak rise in Kelvin.
+        peak_rise_modified: Modified peak rise in Kelvin.
+    """
+
+    area_overhead: float
+    temperature_reduction: float
+    gradient_reduction: float
+    timing_overhead: Optional[float]
+    wirelength_overhead: float
+    peak_rise_baseline: float
+    peak_rise_modified: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary (``None`` timing reported as ``nan``)."""
+        return {
+            "area_overhead": self.area_overhead,
+            "temperature_reduction": self.temperature_reduction,
+            "gradient_reduction": self.gradient_reduction,
+            "timing_overhead": float("nan") if self.timing_overhead is None else self.timing_overhead,
+            "wirelength_overhead": self.wirelength_overhead,
+            "peak_rise_baseline": self.peak_rise_baseline,
+            "peak_rise_modified": self.peak_rise_modified,
+        }
+
+
+def compare(
+    baseline_placement: Placement,
+    baseline_map: ThermalMap,
+    modified_placement: Placement,
+    modified_map: ThermalMap,
+    baseline_timing: Optional[TimingReport] = None,
+    modified_timing: Optional[TimingReport] = None,
+) -> ComparisonMetrics:
+    """Compute the full before/after metric set for a transformation."""
+    timing = None
+    if baseline_timing is not None and modified_timing is not None:
+        timing = timing_overhead(baseline_timing, modified_timing)
+    return ComparisonMetrics(
+        area_overhead=area_overhead(baseline_placement, modified_placement),
+        temperature_reduction=temperature_reduction(baseline_map, modified_map),
+        gradient_reduction=gradient_reduction(baseline_map, modified_map),
+        timing_overhead=timing,
+        wirelength_overhead=wirelength_overhead(baseline_placement, modified_placement),
+        peak_rise_baseline=baseline_map.peak_rise,
+        peak_rise_modified=modified_map.peak_rise,
+    )

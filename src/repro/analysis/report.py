@@ -1,0 +1,100 @@
+"""Plain-text report formatting for experiment results.
+
+The benchmark harness prints the same rows/series the paper reports
+(Figure 6's reduction-versus-overhead series and Table I's concentrated-
+hotspot table); these helpers render them as aligned text tables so the
+benchmark output can be eyeballed against the paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned, pipe-separated text table.
+
+    Args:
+        headers: Column headers.
+        rows: Row values; each value is converted with ``str``.
+        title: Optional title printed above the table.
+
+    Returns:
+        The formatted table as a single string.
+    """
+    str_rows = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, value in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(value))
+
+    def format_row(values: Sequence[str]) -> str:
+        cells = [value.ljust(widths[i]) for i, value in enumerate(values)]
+        return "| " + " | ".join(cells) + " |"
+
+    separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append(separator)
+    for row in str_rows:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string (``0.161`` -> ``"16.1%"``)."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def figure6_report(outcomes: Sequence) -> str:
+    """Render Figure 6 (reduction versus overhead per strategy) as text.
+
+    Args:
+        outcomes: :class:`~repro.flow.experiment.StrategyOutcome` objects.
+
+    Returns:
+        A text table with one row per (strategy, overhead) point.
+    """
+    rows = []
+    for outcome in sorted(outcomes, key=lambda o: (o.strategy, o.actual_overhead)):
+        rows.append(
+            [
+                outcome.strategy,
+                percent(outcome.requested_overhead),
+                percent(outcome.actual_overhead),
+                percent(outcome.temperature_reduction),
+                f"{outcome.peak_rise:.2f} K",
+                "-" if outcome.timing_overhead is None else percent(outcome.timing_overhead, 2),
+            ]
+        )
+    return format_table(
+        ["strategy", "requested overhead", "actual overhead", "temp reduction",
+         "peak rise", "timing overhead"],
+        rows,
+        title="Figure 6: thermal efficiency of the whitespace-allocation techniques",
+    )
+
+
+def table1_report(outcomes: Sequence) -> str:
+    """Render Table I (concentrated hotspot, Default vs ERI) as text."""
+    rows = []
+    for outcome in outcomes:
+        rows.append(
+            [
+                outcome.strategy,
+                f"{outcome.core_width:.0f} x {outcome.core_height:.0f}",
+                outcome.inserted_rows if outcome.inserted_rows else "-",
+                percent(outcome.actual_overhead),
+                percent(outcome.temperature_reduction),
+            ]
+        )
+    return format_table(
+        ["method", "core area [um x um]", "inserted rows", "area overhead",
+         "temp reduction"],
+        rows,
+        title="Table I: concentrated hotspot, Default vs Empty Row Insertion",
+    )

@@ -1,0 +1,47 @@
+"""Synthetic benchmark circuits and workloads."""
+
+from .arith import (
+    array_multiplier,
+    carry_lookahead_adder,
+    carry_save_adder_tree,
+    multiply_accumulate,
+    ripple_carry_adder,
+    wallace_multiplier,
+)
+from .synthetic import (
+    DEFAULT_UNITS,
+    UnitSpec,
+    build_synthetic_circuit,
+    small_synthetic_circuit,
+    unit_cell_counts,
+)
+from .workloads import (
+    ACTIVE_TOGGLE_PROBABILITY,
+    IDLE_TOGGLE_PROBABILITY,
+    Workload,
+    concentrated_hotspot_workload,
+    custom_workload,
+    scattered_hotspots_workload,
+    uniform_workload,
+)
+
+__all__ = [
+    "array_multiplier",
+    "carry_lookahead_adder",
+    "carry_save_adder_tree",
+    "multiply_accumulate",
+    "ripple_carry_adder",
+    "wallace_multiplier",
+    "DEFAULT_UNITS",
+    "UnitSpec",
+    "build_synthetic_circuit",
+    "small_synthetic_circuit",
+    "unit_cell_counts",
+    "ACTIVE_TOGGLE_PROBABILITY",
+    "IDLE_TOGGLE_PROBABILITY",
+    "Workload",
+    "concentrated_hotspot_workload",
+    "custom_workload",
+    "scattered_hotspots_workload",
+    "uniform_workload",
+    ]

@@ -1,0 +1,529 @@
+"""Gate-level generators for arithmetic units.
+
+The paper's benchmark is a synthetic circuit of about 12,000 standard cells
+"composed of nine arithmetic units of various sizes", synthesized with a
+commercial flow.  We do not have that flow, so this module generates the
+arithmetic units directly as gate-level netlists over the default cell
+library: ripple-carry and carry-lookahead adders, carry-save adder trees,
+array and Wallace-tree multipliers, and multiply-accumulate units, each with
+registered inputs and outputs so the design is sequential and can be clocked
+at the paper's 1 GHz.
+
+Every generator returns a standalone :class:`~repro.netlist.netlist.Netlist`
+that the synthetic-benchmark builder merges (with a per-unit prefix) into the
+full design.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..netlist import CellLibrary, Netlist, default_library
+
+
+class _Builder:
+    """Small helper for constructing gate-level netlists.
+
+    Tracks a monotonically increasing id for generated instance and net
+    names, and offers one-line helpers for common gates so the arithmetic
+    generators read like dataflow descriptions.
+    """
+
+    def __init__(self, name: str, library: Optional[CellLibrary] = None) -> None:
+        self.netlist = Netlist(name, library if library is not None else default_library())
+        self._next_id = 0
+
+    # -- naming --------------------------------------------------------------
+
+    def _fresh(self, stem: str) -> str:
+        self._next_id += 1
+        return f"{stem}_{self._next_id}"
+
+    # -- ports ---------------------------------------------------------------
+
+    def input_bus(self, name: str, width: int) -> List[str]:
+        """Declare a primary input bus and return its per-bit net names."""
+        nets = []
+        for bit in range(width):
+            port_name = f"{name}_{bit}"
+            self.netlist.add_port(port_name, "input")
+            self.netlist.connect_port(port_name, port_name)
+            nets.append(port_name)
+        return nets
+
+    def output_bus(self, name: str, width: int, nets: Sequence[str]) -> None:
+        """Declare a primary output bus driven by ``nets``."""
+        if len(nets) != width:
+            raise ValueError(f"output bus {name}: expected {width} nets, got {len(nets)}")
+        for bit, net in enumerate(nets):
+            port_name = f"{name}_{bit}"
+            self.netlist.add_port(port_name, "output")
+            self._connect_output_port(port_name, net)
+
+    def _connect_output_port(self, port_name: str, net_name: str) -> None:
+        net = self.netlist.add_net(net_name)
+        net.add_sink_port(self.netlist.ports[port_name])
+
+    # -- gates ---------------------------------------------------------------
+
+    def gate(self, master: str, inputs: Sequence[str], stem: str = "g") -> str:
+        """Instantiate a single-output gate and return its output net name."""
+        inst = self.netlist.add_cell(self._fresh(stem), master)
+        pin_names = inst.master.inputs
+        if len(inputs) != len(pin_names):
+            raise ValueError(
+                f"{master} expects {len(pin_names)} inputs, got {len(inputs)}"
+            )
+        for pin_name, net_name in zip(pin_names, inputs):
+            self.netlist.connect(net_name, inst.pin(pin_name))
+        out_net = self._fresh("n")
+        self.netlist.connect(out_net, inst.pin(inst.master.outputs[0]))
+        return out_net
+
+    def gate2(self, master: str, inputs: Sequence[str], stem: str = "g") -> Tuple[str, str]:
+        """Instantiate a two-output gate (HA/FA); return its output nets."""
+        inst = self.netlist.add_cell(self._fresh(stem), master)
+        for pin_name, net_name in zip(inst.master.inputs, inputs):
+            self.netlist.connect(net_name, inst.pin(pin_name))
+        outs = []
+        for out_pin in inst.master.outputs:
+            out_net = self._fresh("n")
+            self.netlist.connect(out_net, inst.pin(out_pin))
+            outs.append(out_net)
+        return outs[0], outs[1]
+
+    def inv(self, a: str) -> str:
+        return self.gate("INV_X1", [a], "inv")
+
+    def and2(self, a: str, b: str) -> str:
+        return self.gate("AND2_X1", [a, b], "and")
+
+    def or2(self, a: str, b: str) -> str:
+        return self.gate("OR2_X1", [a, b], "or")
+
+    def xor2(self, a: str, b: str) -> str:
+        return self.gate("XOR2_X1", [a, b], "xor")
+
+    def nand2(self, a: str, b: str) -> str:
+        return self.gate("NAND2_X1", [a, b], "nand")
+
+    def nor2(self, a: str, b: str) -> str:
+        return self.gate("NOR2_X1", [a, b], "nor")
+
+    def mux2(self, a: str, b: str, sel: str) -> str:
+        return self.gate("MUX2_X1", [a, b, sel], "mux")
+
+    def half_adder(self, a: str, b: str) -> Tuple[str, str]:
+        """Return ``(sum, carry)`` nets of a half adder."""
+        return self.gate2("HA_X1", [a, b], "ha")
+
+    def full_adder(self, a: str, b: str, cin: str) -> Tuple[str, str]:
+        """Return ``(sum, carry)`` nets of a full adder."""
+        return self.gate2("FA_X1", [a, b, cin], "fa")
+
+    def dff(self, d: str) -> str:
+        """Register a net through a D flip-flop and return the Q net."""
+        inst = self.netlist.add_cell(self._fresh("dff"), "DFF_X1")
+        self.netlist.connect(d, inst.pin("D"))
+        q_net = self._fresh("q")
+        self.netlist.connect(q_net, inst.pin("Q"))
+        return q_net
+
+    def register_bus(self, nets: Sequence[str]) -> List[str]:
+        """Register every bit of a bus and return the Q net names."""
+        return [self.dff(net) for net in nets]
+
+    def constant_zero(self) -> str:
+        """Return a net tied low (a NOR of a registered feedback loop is
+        avoided; instead an input-less constant is modelled by XOR(a, a))."""
+        # A constant-0 net built from an existing primary input keeps the
+        # netlist purely structural without a tie cell: x XOR x == 0.
+        some_input = next(iter(self.netlist.primary_inputs), None)
+        if some_input is None:
+            raise ValueError("constant_zero requires at least one primary input")
+        return self.xor2(some_input.name, some_input.name)
+
+
+# ---------------------------------------------------------------------------
+# Adders
+# ---------------------------------------------------------------------------
+
+
+def ripple_carry_adder(width: int, name: str = "rca",
+                       library: Optional[CellLibrary] = None,
+                       registered: bool = True) -> Netlist:
+    """Generate a ripple-carry adder.
+
+    Args:
+        width: Operand width in bits.
+        name: Design name.
+        library: Cell library; defaults to :func:`default_library`.
+        registered: When ``True``, operands and results pass through D
+            flip-flops (registered inputs and outputs).
+
+    Returns:
+        The adder netlist with ports ``a_*``, ``b_*``, ``cin_0``, ``s_*``
+        and ``cout_0``.
+    """
+    builder = _Builder(name, library)
+    a = builder.input_bus("a", width)
+    b = builder.input_bus("b", width)
+    cin = builder.input_bus("cin", 1)[0]
+    if registered:
+        a = builder.register_bus(a)
+        b = builder.register_bus(b)
+        cin = builder.dff(cin)
+
+    sums: List[str] = []
+    carry = cin
+    for bit in range(width):
+        s, carry = builder.full_adder(a[bit], b[bit], carry)
+        sums.append(s)
+
+    if registered:
+        sums = builder.register_bus(sums)
+        carry = builder.dff(carry)
+    builder.output_bus("s", width, sums)
+    builder.output_bus("cout", 1, [carry])
+    return builder.netlist
+
+
+def carry_lookahead_adder(width: int, name: str = "cla",
+                          library: Optional[CellLibrary] = None,
+                          registered: bool = True) -> Netlist:
+    """Generate a carry-lookahead adder with 4-bit lookahead groups.
+
+    Within each 4-bit group, carries are computed from propagate/generate
+    terms with explicit AND/OR gates; groups are chained ripple-style.
+
+    Args:
+        width: Operand width in bits.
+        name: Design name.
+        library: Cell library; defaults to :func:`default_library`.
+        registered: Register operands and results through flip-flops.
+
+    Returns:
+        The adder netlist with ports ``a_*``, ``b_*``, ``cin_0``, ``s_*``
+        and ``cout_0``.
+    """
+    builder = _Builder(name, library)
+    a = builder.input_bus("a", width)
+    b = builder.input_bus("b", width)
+    cin = builder.input_bus("cin", 1)[0]
+    if registered:
+        a = builder.register_bus(a)
+        b = builder.register_bus(b)
+        cin = builder.dff(cin)
+
+    propagate = [builder.xor2(a[i], b[i]) for i in range(width)]
+    generate = [builder.and2(a[i], b[i]) for i in range(width)]
+
+    sums: List[str] = []
+    carry = cin
+    for group_start in range(0, width, 4):
+        group_end = min(group_start + 4, width)
+        carries = [carry]
+        for i in range(group_start, group_end):
+            # c[i+1] = g[i] + p[i] * c[i]
+            term = builder.and2(propagate[i], carries[-1])
+            carries.append(builder.or2(generate[i], term))
+        for offset, i in enumerate(range(group_start, group_end)):
+            sums.append(builder.xor2(propagate[i], carries[offset]))
+        carry = carries[-1]
+
+    if registered:
+        sums = builder.register_bus(sums)
+        carry = builder.dff(carry)
+    builder.output_bus("s", width, sums)
+    builder.output_bus("cout", 1, [carry])
+    return builder.netlist
+
+
+def carry_save_adder_tree(width: int, num_operands: int = 4, name: str = "csa",
+                          library: Optional[CellLibrary] = None,
+                          registered: bool = True) -> Netlist:
+    """Generate a carry-save adder tree summing ``num_operands`` operands.
+
+    Operands are reduced with 3:2 carry-save stages down to two vectors,
+    which are then summed with a ripple-carry stage.
+
+    Args:
+        width: Operand width in bits.
+        num_operands: Number of input operands (>= 2).
+        name: Design name.
+        library: Cell library; defaults to :func:`default_library`.
+        registered: Register operands and results through flip-flops.
+
+    Returns:
+        The netlist with ports ``op<k>_*`` and ``s_*`` (width + ceil(log2)
+        extra bits are truncated to ``width + 2`` result bits).
+    """
+    if num_operands < 2:
+        raise ValueError("carry_save_adder_tree requires at least 2 operands")
+    builder = _Builder(name, library)
+    operands: List[List[str]] = []
+    for k in range(num_operands):
+        bus = builder.input_bus(f"op{k}", width)
+        if registered:
+            bus = builder.register_bus(bus)
+        operands.append(bus)
+
+    result_width = width + 2
+    zero = builder.constant_zero()
+
+    def pad(bus: List[str]) -> List[str]:
+        return bus + [zero] * (result_width - len(bus))
+
+    vectors = [pad(bus) for bus in operands]
+
+    # 3:2 reduction until only two vectors remain.
+    while len(vectors) > 2:
+        next_vectors: List[List[str]] = []
+        idx = 0
+        while idx + 2 < len(vectors):
+            x, y, z = vectors[idx], vectors[idx + 1], vectors[idx + 2]
+            sum_vec: List[str] = []
+            carry_vec: List[str] = [zero]
+            for bit in range(result_width):
+                s, c = builder.full_adder(x[bit], y[bit], z[bit])
+                sum_vec.append(s)
+                if bit + 1 < result_width:
+                    carry_vec.append(c)
+            next_vectors.append(sum_vec)
+            next_vectors.append(carry_vec[:result_width])
+            idx += 3
+        next_vectors.extend(vectors[idx:])
+        vectors = next_vectors
+
+    # Final carry-propagate addition of the remaining two vectors.
+    final_a, final_b = vectors
+    sums: List[str] = []
+    carry = zero
+    for bit in range(result_width):
+        s, carry = builder.full_adder(final_a[bit], final_b[bit], carry)
+        sums.append(s)
+
+    if registered:
+        sums = builder.register_bus(sums)
+    builder.output_bus("s", result_width, sums)
+    return builder.netlist
+
+
+# ---------------------------------------------------------------------------
+# Multipliers
+# ---------------------------------------------------------------------------
+
+
+def _partial_products(builder: _Builder, a: Sequence[str], b: Sequence[str]) -> List[List[str]]:
+    """AND-gate partial product matrix ``pp[j][i] = a[i] & b[j]``."""
+    return [[builder.and2(a[i], b[j]) for i in range(len(a))] for j in range(len(b))]
+
+
+def array_multiplier(width: int, name: str = "arraymul",
+                     library: Optional[CellLibrary] = None,
+                     registered: bool = True) -> Netlist:
+    """Generate an unsigned array (carry-save) multiplier.
+
+    The classic array structure: an AND-gate partial-product matrix reduced
+    row by row with half/full adders, followed by a ripple-carry final row.
+
+    Args:
+        width: Operand width in bits.
+        name: Design name.
+        library: Cell library; defaults to :func:`default_library`.
+        registered: Register operands and the product through flip-flops.
+
+    Returns:
+        The multiplier netlist with ports ``a_*``, ``b_*`` and ``p_*``
+        (product of ``2 * width`` bits).
+    """
+    builder = _Builder(name, library)
+    a = builder.input_bus("a", width)
+    b = builder.input_bus("b", width)
+    if registered:
+        a = builder.register_bus(a)
+        b = builder.register_bus(b)
+
+    pp = _partial_products(builder, a, b)
+
+    # Row-by-row carry-save accumulation.
+    # running_sum[i] holds bit i of the partial result aligned to bit 0.
+    product: List[str] = [pp[0][0]]
+    running = pp[0][1:]  # bits 1..width-1 of row 0
+    zero = builder.constant_zero()
+
+    for row in range(1, width):
+        row_bits = pp[row]
+        new_running: List[str] = []
+        carry = zero
+        for col in range(width):
+            acc_bit = running[col] if col < len(running) else zero
+            if col == 0:
+                s, carry = builder.half_adder(acc_bit, row_bits[col])
+                # carry from HA joins the FA chain at the next column
+                product.append(s)
+                prev_carry = carry
+            else:
+                s, prev_carry = builder.full_adder(acc_bit, row_bits[col], prev_carry)
+                new_running.append(s)
+        new_running.append(prev_carry)
+        running = new_running
+
+    # Remaining high bits of the accumulated sum form the top product bits.
+    product.extend(running)
+    product = product[: 2 * width]
+    while len(product) < 2 * width:
+        product.append(zero)
+
+    if registered:
+        product = builder.register_bus(product)
+    builder.output_bus("p", 2 * width, product)
+    return builder.netlist
+
+
+def wallace_multiplier(width: int, name: str = "wallacemul",
+                       library: Optional[CellLibrary] = None,
+                       registered: bool = True) -> Netlist:
+    """Generate an unsigned Wallace-tree multiplier.
+
+    Partial products are reduced column-wise with 3:2 (full adder) and 2:2
+    (half adder) compressors until every column holds at most two bits, then
+    a ripple-carry adder produces the final product.
+
+    Args:
+        width: Operand width in bits.
+        name: Design name.
+        library: Cell library; defaults to :func:`default_library`.
+        registered: Register operands and the product through flip-flops.
+
+    Returns:
+        The multiplier netlist with ports ``a_*``, ``b_*`` and ``p_*``
+        (product of ``2 * width`` bits).
+    """
+    builder = _Builder(name, library)
+    a = builder.input_bus("a", width)
+    b = builder.input_bus("b", width)
+    if registered:
+        a = builder.register_bus(a)
+        b = builder.register_bus(b)
+
+    # columns[k] = list of nets whose weight is 2^k
+    columns: List[List[str]] = [[] for _ in range(2 * width)]
+    for j in range(width):
+        for i in range(width):
+            columns[i + j].append(builder.and2(a[i], b[j]))
+
+    # Wallace reduction.
+    while any(len(col) > 2 for col in columns):
+        new_columns: List[List[str]] = [[] for _ in range(2 * width)]
+        for k, col in enumerate(columns):
+            idx = 0
+            while len(col) - idx >= 3:
+                s, c = builder.full_adder(col[idx], col[idx + 1], col[idx + 2])
+                new_columns[k].append(s)
+                if k + 1 < 2 * width:
+                    new_columns[k + 1].append(c)
+                idx += 3
+            if len(col) - idx == 2:
+                s, c = builder.half_adder(col[idx], col[idx + 1])
+                new_columns[k].append(s)
+                if k + 1 < 2 * width:
+                    new_columns[k + 1].append(c)
+                idx += 2
+            new_columns[k].extend(col[idx:])
+        columns = new_columns
+
+    # Final carry-propagate addition.
+    zero = builder.constant_zero()
+    product: List[str] = []
+    carry = zero
+    for k in range(2 * width):
+        col = columns[k]
+        x = col[0] if len(col) > 0 else zero
+        y = col[1] if len(col) > 1 else zero
+        s, carry = builder.full_adder(x, y, carry)
+        product.append(s)
+
+    if registered:
+        product = builder.register_bus(product)
+    builder.output_bus("p", 2 * width, product)
+    return builder.netlist
+
+
+def multiply_accumulate(width: int, name: str = "mac",
+                        library: Optional[CellLibrary] = None) -> Netlist:
+    """Generate a multiply-accumulate unit.
+
+    The unit multiplies two ``width``-bit operands with an array multiplier
+    structure and adds the product into a ``2 * width + 2``-bit accumulator
+    register each cycle.
+
+    Args:
+        width: Operand width in bits.
+        name: Design name.
+        library: Cell library; defaults to :func:`default_library`.
+
+    Returns:
+        The MAC netlist with ports ``a_*``, ``b_*`` and ``acc_*``.
+    """
+    builder = _Builder(name, library)
+    a = builder.register_bus(builder.input_bus("a", width))
+    b = builder.register_bus(builder.input_bus("b", width))
+
+    # Partial-product reduction (same column-wise scheme as Wallace).
+    acc_width = 2 * width + 2
+    columns: List[List[str]] = [[] for _ in range(acc_width)]
+    for j in range(width):
+        for i in range(width):
+            columns[i + j].append(builder.and2(a[i], b[j]))
+
+    while any(len(col) > 2 for col in columns):
+        new_columns: List[List[str]] = [[] for _ in range(acc_width)]
+        for k, col in enumerate(columns):
+            idx = 0
+            while len(col) - idx >= 3:
+                s, c = builder.full_adder(col[idx], col[idx + 1], col[idx + 2])
+                new_columns[k].append(s)
+                if k + 1 < acc_width:
+                    new_columns[k + 1].append(c)
+                idx += 3
+            if len(col) - idx == 2:
+                s, c = builder.half_adder(col[idx], col[idx + 1])
+                new_columns[k].append(s)
+                if k + 1 < acc_width:
+                    new_columns[k + 1].append(c)
+                idx += 2
+            new_columns[k].extend(col[idx:])
+        columns = new_columns
+
+    zero = builder.constant_zero()
+    product: List[str] = []
+    carry = zero
+    for k in range(acc_width):
+        col = columns[k]
+        x = col[0] if len(col) > 0 else zero
+        y = col[1] if len(col) > 1 else zero
+        s, carry = builder.full_adder(x, y, carry)
+        product.append(s)
+
+    # Accumulator: acc_next = acc + product; acc register feeds back.
+    # Build the register first by creating DFFs whose D nets are assigned
+    # after the adder is constructed.
+    acc_dffs = [builder.netlist.add_cell(f"accreg_{k}", "DFF_X1") for k in range(acc_width)]
+    acc_q: List[str] = []
+    for k, dff in enumerate(acc_dffs):
+        q_net = f"acc_q_{k}"
+        builder.netlist.connect(q_net, dff.pin("Q"))
+        acc_q.append(q_net)
+
+    carry = zero
+    acc_next: List[str] = []
+    for k in range(acc_width):
+        s, carry = builder.full_adder(product[k], acc_q[k], carry)
+        acc_next.append(s)
+
+    for k, dff in enumerate(acc_dffs):
+        builder.netlist.connect(acc_next[k], dff.pin("D"))
+
+    builder.output_bus("acc", acc_width, acc_q)
+    return builder.netlist

@@ -1,0 +1,141 @@
+"""The synthetic benchmark circuit.
+
+The paper evaluates on "a synthetic benchmark circuit ... that consists of
+about 12000 standard cells" and is "composed of nine arithmetic units of
+various sizes", clocked at 1 GHz.  The synthetic circuit lets the authors
+"control the size and position of hotspots using different workloads".
+
+:func:`build_synthetic_circuit` assembles the same kind of design: nine
+arithmetic units (multipliers, adders, a multiply-accumulate unit and a
+carry-save adder tree) generated gate-by-gate from the default cell library
+and merged into one flat netlist, each cell tagged with its unit name so
+the placer can region-partition the design and the workloads can steer
+per-unit activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..netlist import CellLibrary, Netlist, default_library
+from .arith import (
+    array_multiplier,
+    carry_lookahead_adder,
+    carry_save_adder_tree,
+    multiply_accumulate,
+    ripple_carry_adder,
+    wallace_multiplier,
+)
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """Specification of one arithmetic unit of the synthetic benchmark.
+
+    Attributes:
+        name: Unit (and cell ``unit`` tag / name prefix) name.
+        kind: Generator kind, one of ``"array_mult"``, ``"wallace_mult"``,
+            ``"mac"``, ``"rca"``, ``"cla"``, ``"csa"``.
+        width: Operand width in bits.
+        operands: Number of operands (only used by the CSA tree).
+    """
+
+    name: str
+    kind: str
+    width: int
+    operands: int = 4
+
+
+#: The default nine units.  Sizes were chosen so the flattened design lands
+#: near the paper's "about 12000 standard cells".
+DEFAULT_UNITS: Tuple[UnitSpec, ...] = (
+    UnitSpec("u0_mul32a", "array_mult", 32),
+    UnitSpec("u1_mul32w", "wallace_mult", 32),
+    UnitSpec("u2_mul30a", "array_mult", 30),
+    UnitSpec("u3_mul24w", "wallace_mult", 24),
+    UnitSpec("u4_mac24", "mac", 24),
+    UnitSpec("u5_mul18a", "array_mult", 18),
+    UnitSpec("u6_mul18w", "wallace_mult", 18),
+    UnitSpec("u7_cla64", "cla", 64),
+    UnitSpec("u8_csa32", "csa", 32, operands=8),
+)
+
+
+def _generate_unit(spec: UnitSpec, library: CellLibrary) -> Netlist:
+    """Instantiate the generator named by ``spec.kind``."""
+    generators: Dict[str, Callable[..., Netlist]] = {
+        "array_mult": lambda: array_multiplier(spec.width, name=spec.name, library=library),
+        "wallace_mult": lambda: wallace_multiplier(spec.width, name=spec.name, library=library),
+        "mac": lambda: multiply_accumulate(spec.width, name=spec.name, library=library),
+        "rca": lambda: ripple_carry_adder(spec.width, name=spec.name, library=library),
+        "cla": lambda: carry_lookahead_adder(spec.width, name=spec.name, library=library),
+        "csa": lambda: carry_save_adder_tree(
+            spec.width, num_operands=spec.operands, name=spec.name, library=library
+        ),
+    }
+    try:
+        return generators[spec.kind]()
+    except KeyError:
+        raise ValueError(f"unknown unit kind {spec.kind!r}") from None
+
+
+def build_synthetic_circuit(
+    units: Sequence[UnitSpec] = DEFAULT_UNITS,
+    name: str = "synthetic9",
+    library: Optional[CellLibrary] = None,
+) -> Netlist:
+    """Build the nine-unit synthetic benchmark as one flat netlist.
+
+    Args:
+        units: Unit specifications (defaults to :data:`DEFAULT_UNITS`).
+        name: Top-level design name.
+        library: Cell library; a fresh default library when omitted.
+
+    Returns:
+        The flattened :class:`~repro.netlist.netlist.Netlist`; every cell's
+        ``unit`` attribute names the arithmetic unit it belongs to and every
+        port is prefixed with its unit name.
+
+    Raises:
+        ValueError: If two units share a name or a unit kind is unknown.
+    """
+    lib = library if library is not None else default_library()
+    names = [spec.name for spec in units]
+    if len(set(names)) != len(names):
+        raise ValueError("unit names must be unique")
+
+    top = Netlist(name, lib)
+    for spec in units:
+        unit_netlist = _generate_unit(spec, lib)
+        top.merge(unit_netlist, prefix=f"{spec.name}__", unit=spec.name)
+    return top
+
+
+def unit_cell_counts(netlist: Netlist) -> Dict[str, int]:
+    """Number of (non-filler) cells per unit."""
+    counts: Dict[str, int] = {}
+    for cell in netlist.logic_cells():
+        counts[cell.unit] = counts.get(cell.unit, 0) + 1
+    return counts
+
+
+def small_synthetic_circuit(name: str = "synthetic_small",
+                            library: Optional[CellLibrary] = None) -> Netlist:
+    """A scaled-down variant of the benchmark for fast tests.
+
+    Same structure (nine units, several kinds), roughly one tenth the cell
+    count of the full benchmark.
+    """
+    units = (
+        UnitSpec("u0_mul10a", "array_mult", 10),
+        UnitSpec("u1_mul10w", "wallace_mult", 10),
+        UnitSpec("u2_mul8a", "array_mult", 8),
+        UnitSpec("u3_mul8w", "wallace_mult", 8),
+        UnitSpec("u4_mac6", "mac", 6),
+        UnitSpec("u5_mul6a", "array_mult", 6),
+        UnitSpec("u6_mul6w", "wallace_mult", 6),
+        UnitSpec("u7_cla16", "cla", 16),
+        UnitSpec("u8_csa12", "csa", 12, operands=4),
+    )
+    return build_synthetic_circuit(units=units, name=name, library=library)

@@ -1,0 +1,207 @@
+"""Workloads: per-unit activity profiles that shape the hotspots.
+
+"The reason behind using a synthetic benchmark is that in this way we are
+able to control the size and position of hotspots using different
+workloads." (Section IV.)  A workload in this reproduction is a mapping
+from unit name to the toggle probability of that unit's primary inputs:
+units running at full data activity become hotspots, idle units only burn
+clock and leakage power.
+
+Two named workloads mirror the paper's two test sets:
+
+* :func:`scattered_hotspots_workload` — four *small* units active (the
+  paper's first experiment: "four scattered small hotspots");
+* :func:`concentrated_hotspot_workload` — the largest unit (plus its
+  equally large neighbour) active (the second experiment: "a single,
+  large, concentrated hotspot").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..netlist import Netlist
+
+
+#: Toggle probability of the inputs of an active unit (busy random data).
+ACTIVE_TOGGLE_PROBABILITY = 0.5
+
+#: Toggle probability of the inputs of an idle unit (operands nearly static).
+IDLE_TOGGLE_PROBABILITY = 0.02
+
+
+@dataclass
+class Workload:
+    """A named per-unit activity profile.
+
+    Attributes:
+        name: Workload name (used in reports).
+        active_units: Units driven with busy random operands.
+        active_probability: Input toggle probability of active units.
+        idle_probability: Input toggle probability of idle units.
+        unit_overrides: Optional per-unit toggle-probability overrides that
+            take precedence over the active/idle split.
+    """
+
+    name: str
+    active_units: List[str] = field(default_factory=list)
+    active_probability: float = ACTIVE_TOGGLE_PROBABILITY
+    idle_probability: float = IDLE_TOGGLE_PROBABILITY
+    unit_overrides: Dict[str, float] = field(default_factory=dict)
+
+    def unit_probability(self, unit: str) -> float:
+        """Toggle probability for the inputs of ``unit``."""
+        if unit in self.unit_overrides:
+            return self.unit_overrides[unit]
+        if unit in self.active_units:
+            return self.active_probability
+        return self.idle_probability
+
+    def port_toggle_probabilities(self, netlist: Netlist) -> Dict[str, float]:
+        """Per-primary-input toggle probabilities for this workload.
+
+        Ports created by the synthetic-benchmark builder are prefixed with
+        ``<unit>__``; ports that do not match any unit get the idle
+        probability.
+        """
+        units = netlist.units()
+        probabilities: Dict[str, float] = {}
+        for port in netlist.primary_inputs:
+            unit = _unit_of_port(port.name, units)
+            probabilities[port.name] = (
+                self.unit_probability(unit) if unit is not None else self.idle_probability
+            )
+        return probabilities
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        active = ", ".join(self.active_units) if self.active_units else "none"
+        return (
+            f"workload {self.name}: active=[{active}] "
+            f"(p_active={self.active_probability}, p_idle={self.idle_probability})"
+        )
+
+
+def _unit_of_port(port_name: str, units: Sequence[str]) -> Optional[str]:
+    """Resolve which unit a (prefixed) port name belongs to."""
+    for unit in units:
+        if port_name.startswith(f"{unit}__"):
+            return unit
+    return None
+
+
+def scattered_hotspots_workload(
+    netlist: Netlist,
+    num_hotspots: int = 4,
+    regions: Optional[Mapping[str, object]] = None,
+) -> Workload:
+    """The paper's first test set: several small scattered hotspots.
+
+    ``num_hotspots`` of the smaller units are activated so the hotspots are
+    small.  When the placement's per-unit ``regions`` are provided, the
+    active units are additionally chosen to be far apart on the die (the
+    subset of the smaller units that maximises the minimum pairwise
+    region-centre distance), so the hotspots are genuinely *scattered* as in
+    the paper's first experiment.
+
+    Args:
+        netlist: The synthetic benchmark.
+        num_hotspots: Number of small units to activate.
+        regions: Optional mapping unit name -> region rectangle (anything
+            with a ``center`` attribute), e.g. ``placement.regions``.
+
+    Returns:
+        The :class:`Workload`.
+
+    Raises:
+        ValueError: If the netlist has fewer units than ``num_hotspots``.
+    """
+    sizes = _unit_sizes(netlist)
+    if len(sizes) < num_hotspots:
+        raise ValueError(
+            f"need at least {num_hotspots} units, netlist has {len(sizes)}"
+        )
+    by_size = [unit for unit, _count in sorted(sizes.items(), key=lambda kv: kv[1])]
+
+    if regions is None:
+        active = by_size[:num_hotspots]
+    else:
+        # Consider the smaller two thirds of the units and pick the subset
+        # whose regions are as spread out as possible (greedy max-min).
+        pool = [u for u in by_size[: max(num_hotspots, (2 * len(by_size)) // 3)] if u in regions]
+        if len(pool) < num_hotspots:
+            pool = [u for u in by_size if u in regions]
+        if len(pool) < num_hotspots:
+            active = by_size[:num_hotspots]
+        else:
+            centers = {u: regions[u].center for u in pool}
+
+            def distance(a: str, b: str) -> float:
+                (ax, ay), (bx, by) = centers[a], centers[b]
+                return ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5
+
+            # Seed with the two most distant units, then grow greedily.
+            best_pair = max(
+                ((a, b) for a in pool for b in pool if a < b),
+                key=lambda pair: distance(*pair),
+            )
+            active = list(best_pair)
+            while len(active) < num_hotspots:
+                candidate = max(
+                    (u for u in pool if u not in active),
+                    key=lambda u: min(distance(u, chosen) for chosen in active),
+                )
+                active.append(candidate)
+    return Workload(name="scattered_small_hotspots", active_units=sorted(active))
+
+
+def concentrated_hotspot_workload(netlist: Netlist, num_units: int = 1) -> Workload:
+    """The paper's second test set: a single large concentrated hotspot.
+
+    The ``num_units`` *largest* units are activated (default one), creating
+    one big contiguous hot region.
+
+    Args:
+        netlist: The synthetic benchmark.
+        num_units: Number of large units to activate.
+
+    Returns:
+        The :class:`Workload`.
+    """
+    sizes = _unit_sizes(netlist)
+    if not sizes:
+        raise ValueError("netlist has no units")
+    largest = [unit for unit, _count in sorted(sizes.items(), key=lambda kv: -kv[1])]
+    return Workload(
+        name="concentrated_large_hotspot", active_units=largest[: max(num_units, 1)]
+    )
+
+
+def uniform_workload(netlist: Netlist, probability: float = ACTIVE_TOGGLE_PROBABILITY) -> Workload:
+    """Every unit equally active (no deliberate hotspot)."""
+    return Workload(
+        name="uniform",
+        active_units=list(netlist.units()),
+        active_probability=probability,
+        idle_probability=probability,
+    )
+
+
+def custom_workload(name: str, active_units: Iterable[str],
+                    active_probability: float = ACTIVE_TOGGLE_PROBABILITY,
+                    idle_probability: float = IDLE_TOGGLE_PROBABILITY) -> Workload:
+    """Build a workload from an explicit list of active units."""
+    return Workload(
+        name=name,
+        active_units=list(active_units),
+        active_probability=active_probability,
+        idle_probability=idle_probability,
+    )
+
+
+def _unit_sizes(netlist: Netlist) -> Dict[str, int]:
+    sizes: Dict[str, int] = {}
+    for cell in netlist.logic_cells():
+        sizes[cell.unit] = sizes.get(cell.unit, 0) + 1
+    return sizes

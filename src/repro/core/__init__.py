@@ -1,0 +1,40 @@
+"""The paper's contribution: hotspot-driven post-placement whitespace management."""
+
+from .hotspot import Hotspot, detect_hotspots, hotspot_summary
+from .default_spread import DefaultSpreadResult, apply_default_spread
+from .empty_row import (
+    EmptyRowInsertionResult,
+    apply_empty_row_insertion,
+    plan_insertion_points,
+    rows_for_overhead,
+)
+from .wrapper import HotspotWrapperResult, WrappedHotspot, apply_hotspot_wrapper
+from .area_manager import (
+    ERI_HOTSPOT_THRESHOLD,
+    HW_HOTSPOT_THRESHOLD,
+    AreaManagementConfig,
+    AreaManagementResult,
+    AreaManager,
+    Strategy,
+)
+
+__all__ = [
+    "Hotspot",
+    "detect_hotspots",
+    "hotspot_summary",
+    "DefaultSpreadResult",
+    "apply_default_spread",
+    "EmptyRowInsertionResult",
+    "apply_empty_row_insertion",
+    "plan_insertion_points",
+    "rows_for_overhead",
+    "HotspotWrapperResult",
+    "WrappedHotspot",
+    "apply_hotspot_wrapper",
+    "ERI_HOTSPOT_THRESHOLD",
+    "HW_HOTSPOT_THRESHOLD",
+    "AreaManagementConfig",
+    "AreaManagementResult",
+    "AreaManager",
+    "Strategy",
+]

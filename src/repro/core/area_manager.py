@@ -1,0 +1,289 @@
+"""The area-management tool (Figure 2 of the paper).
+
+"The initial thermal map, together with the placed netlist info and a
+user-specified area overhead, are processed by our area management tool,
+which, using one of the two strategies, yields a modified placed netlist
+with better thermal properties."
+
+:class:`AreaManager` is that tool: it takes the placed design, the cell-by-
+cell power report and the thermal map, detects the hotspots, and applies
+the requested strategy — ``default`` (uniform utilization relaxation),
+``eri`` (empty row insertion) or ``hw`` (hotspot wrapper, applied on top of
+the default solution, as in the paper's Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from ..placement import Placement
+from ..power import PowerReport
+from ..thermal import Package, ThermalMap, simulate_placement
+from .default_spread import DefaultSpreadResult, apply_default_spread
+from .empty_row import EmptyRowInsertionResult, apply_empty_row_insertion, rows_for_overhead
+from .hotspot import Hotspot, detect_hotspots
+from .wrapper import HotspotWrapperResult, apply_hotspot_wrapper
+
+
+#: Default hotspot-detection threshold for empty row insertion: the method
+#: acts on "the area around a given hotspot", so a generous fraction of the
+#: warm region is included.
+ERI_HOTSPOT_THRESHOLD = 0.5
+
+#: Default hotspot-detection threshold for the hotspot wrapper: the method
+#: is "particularly useful for small concentrated hotspots", so only the
+#: tight core of each hotspot is wrapped.
+HW_HOTSPOT_THRESHOLD = 0.75
+
+
+class Strategy(str, Enum):
+    """Whitespace-allocation strategies."""
+
+    DEFAULT = "default"
+    EMPTY_ROW_INSERTION = "eri"
+    HOTSPOT_WRAPPER = "hw"
+
+    @classmethod
+    def parse(cls, value: "Strategy | str") -> "Strategy":
+        """Accept either a :class:`Strategy` or its string value."""
+        if isinstance(value, Strategy):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown strategy {value!r}; expected one of "
+                f"{[s.value for s in cls]}"
+            ) from None
+
+
+@dataclass
+class AreaManagementConfig:
+    """Configuration of the area-management tool.
+
+    Attributes:
+        area_overhead: User-specified fractional area overhead.
+        strategy: Whitespace-allocation strategy.
+        hotspot_threshold: Fraction of the lateral temperature range above
+            which a thermal cell belongs to a hotspot.  ``None`` (the
+            default) selects a per-strategy value: empty row insertion
+            targets the broader warm area around each hotspot
+            (:data:`ERI_HOTSPOT_THRESHOLD`), while the hotspot wrapper needs
+            tight, concentrated hotspots (:data:`HW_HOTSPOT_THRESHOLD`).
+        max_hotspots: Only target the hottest N hotspots (``None`` = all).
+        wrapper_ring_um: Whitespace-ring width for the hotspot wrapper.
+        wrapper_max_source_units: Units treated as a hotspot's source.
+        add_fillers: Fill created whitespace with dummy cells.
+    """
+
+    area_overhead: float = 0.15
+    strategy: Strategy = Strategy.EMPTY_ROW_INSERTION
+    hotspot_threshold: Optional[float] = None
+    max_hotspots: Optional[int] = None
+    wrapper_ring_um: float = 6.0
+    wrapper_max_source_units: int = 2
+    add_fillers: bool = True
+
+    def __post_init__(self) -> None:
+        self.strategy = Strategy.parse(self.strategy)
+        if self.area_overhead < 0.0:
+            raise ValueError("area_overhead must be non-negative")
+        if self.hotspot_threshold is not None and not 0.0 < self.hotspot_threshold <= 1.0:
+            raise ValueError("hotspot_threshold must be in (0, 1]")
+
+    @property
+    def effective_hotspot_threshold(self) -> float:
+        """The detection threshold, resolved per strategy when unset."""
+        if self.hotspot_threshold is not None:
+            return self.hotspot_threshold
+        if self.strategy is Strategy.HOTSPOT_WRAPPER:
+            return HW_HOTSPOT_THRESHOLD
+        return ERI_HOTSPOT_THRESHOLD
+
+
+@dataclass
+class AreaManagementResult:
+    """The modified placed netlist plus book-keeping.
+
+    Attributes:
+        placement: The new placement.
+        strategy: Strategy that produced it.
+        hotspots: Hotspots detected on the input thermal map.
+        requested_overhead: Overhead requested by the user.
+        actual_overhead: Core-area overhead actually introduced (0.0 for the
+            hotspot wrapper, which redistributes existing whitespace).
+        inserted_rows: Rows inserted (ERI only).
+        num_fillers: Filler cells inserted.
+        details: The strategy-specific result object.
+    """
+
+    placement: Placement
+    strategy: Strategy
+    hotspots: List[Hotspot]
+    requested_overhead: float
+    actual_overhead: float
+    inserted_rows: int = 0
+    num_fillers: int = 0
+    details: object = None
+
+
+class AreaManager:
+    """Post-placement whitespace manager.
+
+    Args:
+        config: Tool configuration.
+    """
+
+    def __init__(self, config: Optional[AreaManagementConfig] = None) -> None:
+        self.config = config if config is not None else AreaManagementConfig()
+
+    # ------------------------------------------------------------------
+
+    def detect(
+        self,
+        placement: Placement,
+        thermal_map: ThermalMap,
+        power: Optional[PowerReport] = None,
+    ) -> List[Hotspot]:
+        """Detect hotspots with the configured (per-strategy) threshold."""
+        return detect_hotspots(
+            thermal_map,
+            placement,
+            power=power,
+            threshold_fraction=self.config.effective_hotspot_threshold,
+            max_hotspots=self.config.max_hotspots,
+        )
+
+    def optimize(
+        self,
+        placement: Placement,
+        power: PowerReport,
+        thermal_map: ThermalMap,
+        hotspots: Optional[Sequence[Hotspot]] = None,
+    ) -> AreaManagementResult:
+        """Produce the modified placed netlist for the configured strategy.
+
+        Args:
+            placement: The baseline placed design.
+            power: Cell-by-cell power report.
+            thermal_map: Thermal map of the baseline placement.
+            hotspots: Pre-detected hotspots; detected here when omitted.
+
+        Returns:
+            An :class:`AreaManagementResult`.
+        """
+        config = self.config
+        spots = list(hotspots) if hotspots is not None else self.detect(
+            placement, thermal_map, power
+        )
+
+        if config.strategy is Strategy.DEFAULT:
+            default_result = apply_default_spread(
+                placement, config.area_overhead, add_fillers=config.add_fillers
+            )
+            return AreaManagementResult(
+                placement=default_result.placement,
+                strategy=config.strategy,
+                hotspots=spots,
+                requested_overhead=config.area_overhead,
+                actual_overhead=default_result.actual_overhead,
+                num_fillers=default_result.num_fillers,
+                details=default_result,
+            )
+
+        if config.strategy is Strategy.EMPTY_ROW_INSERTION:
+            eri_result = apply_empty_row_insertion(
+                placement,
+                spots,
+                area_overhead=config.area_overhead,
+                add_fillers=config.add_fillers,
+            )
+            return AreaManagementResult(
+                placement=eri_result.placement,
+                strategy=config.strategy,
+                hotspots=spots,
+                requested_overhead=config.area_overhead,
+                actual_overhead=eri_result.actual_overhead,
+                inserted_rows=eri_result.inserted_rows,
+                num_fillers=eri_result.num_fillers,
+                details=eri_result,
+            )
+
+        # Hotspot wrapper: start from the Default solution at the requested
+        # overhead (as in the paper's Figure 6), re-detect the hotspots on
+        # that placement's own thermal map, then wrap them.
+        default_result = apply_default_spread(
+            placement, config.area_overhead, add_fillers=False
+        )
+        hw_result = apply_hotspot_wrapper(
+            default_result.placement,
+            self._project_hotspots(spots, placement, default_result.placement),
+            ring_width_um=config.wrapper_ring_um,
+            max_source_units=config.wrapper_max_source_units,
+            max_hotspots=config.max_hotspots,
+            add_fillers=config.add_fillers,
+        )
+        return AreaManagementResult(
+            placement=hw_result.placement,
+            strategy=config.strategy,
+            hotspots=spots,
+            requested_overhead=config.area_overhead,
+            actual_overhead=default_result.actual_overhead,
+            num_fillers=hw_result.num_fillers,
+            details=hw_result,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _project_hotspots(
+        hotspots: Sequence[Hotspot], source: Placement, target: Placement
+    ) -> List[Hotspot]:
+        """Scale hotspot rectangles from one core outline to another.
+
+        When the hotspot wrapper starts from a relaxed-utilization (larger)
+        placement, the hotspots detected on the baseline map are projected
+        onto the new core by scaling their rectangles with the core-size
+        ratio; the dominant units (which is what the wrapper actually acts
+        on) are preserved.
+        """
+        sx = target.floorplan.core_width / source.floorplan.core_width
+        sy = target.floorplan.core_height / source.floorplan.core_height
+        projected: List[Hotspot] = []
+        for hotspot in hotspots:
+            rect = hotspot.rect
+            from ..placement.floorplan import Rect as _Rect
+
+            projected.append(
+                Hotspot(
+                    index=hotspot.index,
+                    bins=list(hotspot.bins),
+                    rect=_Rect(rect.x0 * sx, rect.y0 * sy, rect.x1 * sx, rect.y1 * sy),
+                    peak_celsius=hotspot.peak_celsius,
+                    peak_bin=hotspot.peak_bin,
+                    dominant_units=list(hotspot.dominant_units),
+                    power_w=hotspot.power_w,
+                    num_cells=hotspot.num_cells,
+                )
+            )
+        return projected
+
+    def optimize_and_resimulate(
+        self,
+        placement: Placement,
+        power: PowerReport,
+        thermal_map: ThermalMap,
+        package: Optional[Package] = None,
+        nx: int = 40,
+        ny: int = 40,
+    ) -> tuple:
+        """Run :meth:`optimize` and re-run the thermal simulation on the result.
+
+        Returns:
+            ``(result, new_thermal_map)``.
+        """
+        result = self.optimize(placement, power, thermal_map)
+        new_map = simulate_placement(result.placement, power, package=package, nx=nx, ny=ny)
+        return result, new_map

@@ -1,0 +1,17 @@
+"""End-to-end experiment flow (place -> power -> thermal -> area management)."""
+
+from .experiment import (
+    ExperimentSetup,
+    StrategyOutcome,
+    concentrated_hotspot_table,
+    evaluate_strategy,
+    sweep_overheads,
+)
+
+__all__ = [
+    "ExperimentSetup",
+    "StrategyOutcome",
+    "concentrated_hotspot_table",
+    "evaluate_strategy",
+    "sweep_overheads",
+]

@@ -1,0 +1,342 @@
+"""End-to-end experiment driver.
+
+Reproduces the paper's full flow (Figure 2) as a single, reusable object:
+
+1. logic/physical synthesis substitute — the synthetic benchmark is placed
+   at a baseline utilization factor;
+2. power estimation — random vectors, logic simulation, switching activity,
+   cell-by-cell power;
+3. thermal simulation — power map binned onto the 40 x 40 grid, RC network
+   solved for the baseline thermal map;
+4. area management — one of the strategies (Default / ERI / HW) applied at
+   a requested area overhead;
+5. re-simulation and metric extraction — peak-temperature reduction, actual
+   overhead, timing overhead.
+
+The figure/table benchmarks in ``benchmarks/`` are thin wrappers around
+:func:`sweep_overheads` (Figure 6), :func:`concentrated_hotspot_table`
+(Table I) and :class:`ExperimentSetup` (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import compare
+from ..bench import Workload
+from ..core import (
+    AreaManagementConfig,
+    AreaManagementResult,
+    AreaManager,
+    Hotspot,
+    Strategy,
+    apply_empty_row_insertion,
+    detect_hotspots,
+)
+from ..netlist import Netlist
+from ..placement import Placement, place_design
+from ..power import PowerModel, PowerReport, build_power_map, estimate_activity
+from ..power.power_map import PowerMap
+from ..thermal import Package, ThermalMap, default_package, simulate_placement
+from ..timing import DelayModel, StaticTimingAnalyzer, TimingReport
+
+
+@dataclass
+class ExperimentSetup:
+    """Baseline state shared by all strategy evaluations of one experiment.
+
+    Attributes:
+        netlist: The benchmark design.
+        workload: The workload shaping the hotspots.
+        placement: Baseline placement at the baseline utilization factor.
+        power: Cell-by-cell power report (unchanged by the techniques).
+        thermal_map: Thermal map of the baseline placement.
+        power_map: Power map of the baseline placement.
+        hotspots: Hotspots detected on the baseline thermal map.
+        timing: Baseline timing report.
+        package: Thermal package model used throughout.
+        base_utilization: Baseline utilization factor.
+        grid_nx: Thermal grid resolution in x.
+        grid_ny: Thermal grid resolution in y.
+    """
+
+    netlist: Netlist
+    workload: Workload
+    placement: Placement
+    power: PowerReport
+    thermal_map: ThermalMap
+    power_map: PowerMap
+    hotspots: List[Hotspot]
+    timing: TimingReport
+    package: Package
+    base_utilization: float
+    grid_nx: int
+    grid_ny: int
+
+    @classmethod
+    def prepare(
+        cls,
+        netlist: Netlist,
+        workload: Workload,
+        base_utilization: float = 0.85,
+        package: Optional[Package] = None,
+        grid_nx: int = 40,
+        grid_ny: int = 40,
+        hotspot_threshold: float = 0.5,
+        num_cycles: int = 24,
+        batch_size: int = 32,
+        seed: int = 2010,
+        use_quadratic: bool = True,
+        clock_period_ps: float = 1000.0,
+    ) -> "ExperimentSetup":
+        """Run the baseline flow: place, estimate power, solve thermal, STA.
+
+        Args:
+            netlist: The benchmark design.
+            workload: Per-unit activity profile.
+            base_utilization: Baseline utilization factor (the un-relaxed
+                placement all overheads are measured against).
+            package: Thermal stack; :func:`default_package` when omitted.
+            grid_nx: Thermal grid resolution in x (paper: 40).
+            grid_ny: Thermal grid resolution in y (paper: 40).
+            hotspot_threshold: Hotspot-detection threshold fraction.
+            num_cycles: Logic-simulation cycles for activity estimation.
+            batch_size: Parallel random streams for activity estimation.
+            seed: Random seed for vector generation.
+            use_quadratic: Use the quadratic global placer.
+            clock_period_ps: Clock period for timing analysis (1 GHz).
+
+        Returns:
+            The prepared :class:`ExperimentSetup`.
+        """
+        pkg = package if package is not None else default_package()
+
+        placement = place_design(
+            netlist, utilization=base_utilization, use_quadratic=use_quadratic
+        )
+
+        activity = estimate_activity(
+            netlist,
+            workload.port_toggle_probabilities(netlist),
+            num_cycles=num_cycles,
+            batch_size=batch_size,
+            seed=seed,
+        )
+        power = PowerModel().estimate(netlist, activity)
+
+        thermal_map = simulate_placement(
+            placement, power, package=pkg, nx=grid_nx, ny=grid_ny
+        )
+        power_map = build_power_map(placement, power, nx=grid_nx, ny=grid_ny)
+        hotspots = detect_hotspots(
+            thermal_map, placement, power=power, threshold_fraction=hotspot_threshold
+        )
+
+        delay_model = DelayModel(temperature=thermal_map.peak)
+        timing = StaticTimingAnalyzer(
+            netlist, delay_model=delay_model, clock_period_ps=clock_period_ps
+        ).analyze()
+
+        return cls(
+            netlist=netlist,
+            workload=workload,
+            placement=placement,
+            power=power,
+            thermal_map=thermal_map,
+            power_map=power_map,
+            hotspots=hotspots,
+            timing=timing,
+            package=pkg,
+            base_utilization=base_utilization,
+            grid_nx=grid_nx,
+            grid_ny=grid_ny,
+        )
+
+
+@dataclass
+class StrategyOutcome:
+    """One point of the evaluation: a strategy applied at one overhead.
+
+    Attributes:
+        strategy: Strategy name (``"default"``, ``"eri"`` or ``"hw"``).
+        requested_overhead: Requested area overhead fraction.
+        actual_overhead: Core-area overhead actually obtained.
+        temperature_reduction: Peak temperature-rise reduction fraction.
+        peak_rise: Peak temperature rise of the transformed design (K).
+        gradient: On-die gradient of the transformed design (K).
+        timing_overhead: Critical-path increase fraction (``None`` when the
+            timing analysis was skipped).
+        inserted_rows: Rows inserted (ERI only).
+        core_width: Core width of the transformed design in micrometres.
+        core_height: Core height of the transformed design in micrometres.
+        num_fillers: Filler cells inserted.
+    """
+
+    strategy: str
+    requested_overhead: float
+    actual_overhead: float
+    temperature_reduction: float
+    peak_rise: float
+    gradient: float
+    timing_overhead: Optional[float]
+    inserted_rows: int
+    core_width: float
+    core_height: float
+    num_fillers: int
+
+
+def evaluate_strategy(
+    setup: ExperimentSetup,
+    strategy: "Strategy | str",
+    area_overhead: float,
+    analyze_timing: bool = True,
+    hotspot_threshold: Optional[float] = None,
+    wrapper_ring_um: float = 6.0,
+) -> StrategyOutcome:
+    """Apply one strategy at one overhead and measure the outcome.
+
+    Args:
+        setup: The prepared experiment baseline.
+        strategy: ``"default"``, ``"eri"`` or ``"hw"``.
+        area_overhead: Requested area overhead fraction.
+        analyze_timing: Re-run STA on the transformed placement.
+        hotspot_threshold: Optional override of the detection threshold.
+        wrapper_ring_um: Whitespace ring width for the hotspot wrapper.
+
+    Returns:
+        The measured :class:`StrategyOutcome`.
+    """
+    config = AreaManagementConfig(
+        area_overhead=area_overhead,
+        strategy=Strategy.parse(strategy),
+        hotspot_threshold=hotspot_threshold,
+        wrapper_ring_um=wrapper_ring_um,
+    )
+    manager = AreaManager(config)
+    # The manager re-detects hotspots with its per-strategy threshold: empty
+    # row insertion targets the broad warm area, the wrapper the tight core.
+    result = manager.optimize(setup.placement, setup.power, setup.thermal_map)
+    new_map = simulate_placement(
+        result.placement,
+        setup.power,
+        package=setup.package,
+        nx=setup.grid_nx,
+        ny=setup.grid_ny,
+    )
+
+    timing_overhead_value: Optional[float] = None
+    if analyze_timing:
+        delay_model = DelayModel(temperature=new_map.peak)
+        new_timing = StaticTimingAnalyzer(
+            result.placement.netlist,
+            delay_model=delay_model,
+            clock_period_ps=setup.timing.clock_period_ps,
+        ).analyze()
+        timing_overhead_value = new_timing.overhead_versus(setup.timing)
+
+    return StrategyOutcome(
+        strategy=config.strategy.value,
+        requested_overhead=area_overhead,
+        actual_overhead=result.actual_overhead,
+        temperature_reduction=new_map.reduction_versus(setup.thermal_map),
+        peak_rise=new_map.peak_rise,
+        gradient=new_map.gradient,
+        timing_overhead=timing_overhead_value,
+        inserted_rows=result.inserted_rows,
+        core_width=result.placement.floorplan.core_width,
+        core_height=result.placement.floorplan.core_height,
+        num_fillers=result.num_fillers,
+    )
+
+
+def sweep_overheads(
+    setup: ExperimentSetup,
+    overheads: Sequence[float] = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40),
+    strategies: Sequence[str] = ("default", "eri", "hw"),
+    analyze_timing: bool = False,
+) -> List[StrategyOutcome]:
+    """Reproduce Figure 6: reduction versus overhead for every strategy.
+
+    Args:
+        setup: The prepared experiment baseline (scattered-hotspot workload
+            for the paper's first test set).
+        overheads: Area-overhead sweep points.
+        strategies: Strategies to evaluate.
+        analyze_timing: Also compute the timing overhead per point (slower).
+
+    Returns:
+        One :class:`StrategyOutcome` per (strategy, overhead) pair.
+    """
+    outcomes: List[StrategyOutcome] = []
+    for strategy in strategies:
+        for overhead in overheads:
+            outcomes.append(
+                evaluate_strategy(
+                    setup, strategy, overhead, analyze_timing=analyze_timing
+                )
+            )
+    return outcomes
+
+
+def concentrated_hotspot_table(
+    setup: ExperimentSetup,
+    row_counts: Sequence[int] = (20, 40),
+    analyze_timing: bool = False,
+) -> List[StrategyOutcome]:
+    """Reproduce Table I: Default versus ERI on a concentrated hotspot.
+
+    For every requested row count the equivalent area overhead is computed
+    (rows x row area / baseline core area); the Default scheme is evaluated
+    at that same overhead, and ERI is evaluated with exactly that many
+    inserted rows — matching the paper's pairing of rows 1/3 and 2/4.
+
+    Args:
+        setup: Baseline prepared with the concentrated-hotspot workload.
+        row_counts: Numbers of rows to insert (paper: 20 and 40).
+        analyze_timing: Also compute timing overheads.
+
+    Returns:
+        Outcomes ordered as in the paper's table: all Default rows first,
+        then the ERI rows.
+    """
+    base_rows = setup.placement.floorplan.num_rows
+    overheads = [count / base_rows for count in row_counts]
+
+    outcomes: List[StrategyOutcome] = []
+    for overhead in overheads:
+        outcomes.append(
+            evaluate_strategy(setup, "default", overhead, analyze_timing=analyze_timing)
+        )
+
+    for count, overhead in zip(row_counts, overheads):
+        eri = apply_empty_row_insertion(setup.placement, setup.hotspots, num_rows=count)
+        new_map = simulate_placement(
+            eri.placement, setup.power, package=setup.package,
+            nx=setup.grid_nx, ny=setup.grid_ny,
+        )
+        timing_overhead_value: Optional[float] = None
+        if analyze_timing:
+            delay_model = DelayModel(temperature=new_map.peak)
+            new_timing = StaticTimingAnalyzer(
+                eri.placement.netlist,
+                delay_model=delay_model,
+                clock_period_ps=setup.timing.clock_period_ps,
+            ).analyze()
+            timing_overhead_value = new_timing.overhead_versus(setup.timing)
+        outcomes.append(
+            StrategyOutcome(
+                strategy="eri",
+                requested_overhead=overhead,
+                actual_overhead=eri.actual_overhead,
+                temperature_reduction=new_map.reduction_versus(setup.thermal_map),
+                peak_rise=new_map.peak_rise,
+                gradient=new_map.gradient,
+                timing_overhead=timing_overhead_value,
+                inserted_rows=eri.inserted_rows,
+                core_width=eri.placement.floorplan.core_width,
+                core_height=eri.placement.floorplan.core_height,
+                num_fillers=eri.num_fillers,
+            )
+        )
+    return outcomes

@@ -1,0 +1,44 @@
+"""Netlist data model: library, cells, nets, netlist container and I/O."""
+
+from .library import (
+    CELL_DELAY_TEMP_COEFF,
+    NOMINAL_TEMPERATURE,
+    ROW_HEIGHT,
+    SITE_WIDTH,
+    VDD,
+    WIRE_CAP_PER_UM,
+    WIRE_DELAY_TEMP_COEFF,
+    WIRE_RES_PER_UM,
+    CellLibrary,
+    MasterCell,
+    default_library,
+)
+from .cell import CellInstance, Pin
+from .net import Net, Port
+from .netlist import Netlist
+from .verilog import read_verilog, write_verilog
+from .defio import DefDie, read_def, write_def
+
+__all__ = [
+    "CELL_DELAY_TEMP_COEFF",
+    "NOMINAL_TEMPERATURE",
+    "ROW_HEIGHT",
+    "SITE_WIDTH",
+    "VDD",
+    "WIRE_CAP_PER_UM",
+    "WIRE_DELAY_TEMP_COEFF",
+    "WIRE_RES_PER_UM",
+    "CellLibrary",
+    "MasterCell",
+    "default_library",
+    "CellInstance",
+    "Pin",
+    "Net",
+    "Port",
+    "Netlist",
+    "read_verilog",
+    "write_verilog",
+    "DefDie",
+    "read_def",
+    "write_def",
+]

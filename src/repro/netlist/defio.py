@@ -1,0 +1,120 @@
+"""DEF-style placement reader and writer.
+
+Placement information is exchanged in a small DEF-like text format so that a
+placed design can be saved, diffed, and re-loaded independently of the logic
+netlist (which travels as structural Verilog, see
+:mod:`repro.netlist.verilog`).
+
+Format::
+
+    DESIGN <name> ;
+    DIEAREA ( 0 0 ) ( <width_um> <height_um> ) ;
+    ROWS <num_rows> HEIGHT <row_height_um> ;
+    COMPONENTS <n> ;
+      - <instance> <master> + PLACED ( <x_um> <y_um> ) ROW <row> ;
+      ...
+    END COMPONENTS
+    END DESIGN
+
+Coordinates are written in micrometres with fixed precision.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .netlist import Netlist
+
+
+@dataclass
+class DefDie:
+    """Die/row geometry recorded in a DEF-like file."""
+
+    width: float
+    height: float
+    num_rows: int
+    row_height: float
+
+
+_DESIGN_RE = re.compile(r"DESIGN\s+(\S+)\s*;")
+_DIE_RE = re.compile(r"DIEAREA\s*\(\s*([\d.eE+-]+)\s+([\d.eE+-]+)\s*\)\s*\(\s*([\d.eE+-]+)\s+([\d.eE+-]+)\s*\)\s*;")
+_ROWS_RE = re.compile(r"ROWS\s+(\d+)\s+HEIGHT\s+([\d.eE+-]+)\s*;")
+_COMP_RE = re.compile(
+    r"-\s+(\S+)\s+(\S+)\s+\+\s+PLACED\s*\(\s*([\d.eE+-]+)\s+([\d.eE+-]+)\s*\)\s*(?:ROW\s+(-?\d+))?\s*;"
+)
+
+
+def write_def(netlist: Netlist, die_width: float, die_height: float,
+              num_rows: int, row_height: float) -> str:
+    """Serialize the placement of a netlist to DEF-like text.
+
+    Args:
+        netlist: The placed design (unplaced cells are skipped).
+        die_width: Die width in micrometres.
+        die_height: Die height in micrometres.
+        num_rows: Number of placement rows.
+        row_height: Row height in micrometres.
+
+    Returns:
+        The DEF-like text.
+    """
+    placed = [c for c in netlist.cells.values() if c.is_placed]
+    lines = [
+        f"DESIGN {netlist.name} ;",
+        f"DIEAREA ( 0 0 ) ( {die_width:.4f} {die_height:.4f} ) ;",
+        f"ROWS {num_rows} HEIGHT {row_height:.4f} ;",
+        f"COMPONENTS {len(placed)} ;",
+    ]
+    for inst in placed:
+        row = inst.row if inst.row is not None else -1
+        lines.append(
+            f"  - {inst.name} {inst.master.name} + PLACED "
+            f"( {inst.x:.4f} {inst.y:.4f} ) ROW {row} ;"
+        )
+    lines.append("END COMPONENTS")
+    lines.append("END DESIGN")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def read_def(text: str, netlist: Netlist) -> DefDie:
+    """Apply placement from DEF-like text onto an existing netlist.
+
+    Instances named in the DEF that do not exist in the netlist are created
+    (this is how filler cells written by the area-management tool come back
+    on re-import).
+
+    Args:
+        text: DEF-like text produced by :func:`write_def`.
+        netlist: The design to place; modified in place.
+
+    Returns:
+        The :class:`DefDie` geometry parsed from the header.
+
+    Raises:
+        ValueError: If the header is missing or malformed.
+    """
+    design_match = _DESIGN_RE.search(text)
+    die_match = _DIE_RE.search(text)
+    rows_match = _ROWS_RE.search(text)
+    if design_match is None or die_match is None or rows_match is None:
+        raise ValueError("malformed DEF: missing DESIGN / DIEAREA / ROWS header")
+
+    die = DefDie(
+        width=float(die_match.group(3)) - float(die_match.group(1)),
+        height=float(die_match.group(4)) - float(die_match.group(2)),
+        num_rows=int(rows_match.group(1)),
+        row_height=float(rows_match.group(2)),
+    )
+
+    for comp in _COMP_RE.finditer(text):
+        inst_name, master_name, x, y, row = comp.groups()
+        inst = netlist.cells.get(inst_name)
+        if inst is None:
+            inst = netlist.add_cell(inst_name, master_name)
+        row_idx: Optional[int] = int(row) if row is not None and int(row) >= 0 else None
+        inst.place(float(x), float(y), row_idx)
+
+    return die

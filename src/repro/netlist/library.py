@@ -1,0 +1,336 @@
+"""Standard-cell library model.
+
+The paper implements its circuits in an STM 65 nm standard-cell technology.
+That library is proprietary, so this module provides a small, self-contained
+library whose *aggregate* characteristics (cell area, pin capacitance, drive
+resistance, leakage, site geometry) are calibrated to public 65 nm-class
+numbers.  Only those aggregates enter the post-placement techniques: the
+methods need cell areas to compute utilization and whitespace, per-cell power
+to build the power map, and delays to check the timing overhead.
+
+The library is exposed through :class:`CellLibrary`, a container of
+:class:`MasterCell` definitions plus the row/site geometry used by the
+placement substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Technology constants (65 nm-class).
+# ---------------------------------------------------------------------------
+
+#: Supply voltage in volts for the 65 nm-class process.
+VDD = 1.0
+
+#: Placement site width in micrometres.
+SITE_WIDTH = 0.2
+
+#: Placement row (and cell) height in micrometres.
+ROW_HEIGHT = 1.8
+
+#: Wire capacitance per micrometre of estimated length, in femtofarads.
+WIRE_CAP_PER_UM = 0.2
+
+#: Wire resistance per micrometre of estimated length, in ohms.
+WIRE_RES_PER_UM = 1.0
+
+#: Nominal analysis temperature in degrees Celsius.
+NOMINAL_TEMPERATURE = 25.0
+
+#: Fractional increase in cell delay per 10 degrees Celsius (paper: the MOS
+#: current drive decreases ~4% per 10 C).
+CELL_DELAY_TEMP_COEFF = 0.04 / 10.0
+
+#: Fractional increase in interconnect delay per 10 degrees Celsius (paper:
+#: ~5% per 10 C).
+WIRE_DELAY_TEMP_COEFF = 0.05 / 10.0
+
+
+# ---------------------------------------------------------------------------
+# Logic functions used by the vectorized logic simulator.
+#
+# Each function receives a list of NumPy boolean arrays (one per input pin,
+# in pin order) and returns one NumPy boolean array per output pin.
+# ---------------------------------------------------------------------------
+
+
+def _fn_const0(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    base = inputs[0] if inputs else np.zeros(1, dtype=bool)
+    return (np.zeros_like(base, dtype=bool),)
+
+
+def _fn_buf(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    return (inputs[0].copy(),)
+
+
+def _fn_inv(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    return (~inputs[0],)
+
+
+def _fn_and(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    out = inputs[0].copy()
+    for arr in inputs[1:]:
+        out &= arr
+    return (out,)
+
+
+def _fn_nand(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    return (~_fn_and(inputs)[0],)
+
+
+def _fn_or(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    out = inputs[0].copy()
+    for arr in inputs[1:]:
+        out |= arr
+    return (out,)
+
+
+def _fn_nor(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    return (~_fn_or(inputs)[0],)
+
+
+def _fn_xor(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    out = inputs[0].copy()
+    for arr in inputs[1:]:
+        out ^= arr
+    return (out,)
+
+
+def _fn_xnor(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    return (~_fn_xor(inputs)[0],)
+
+
+def _fn_mux2(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    a, b, sel = inputs
+    return (np.where(sel, b, a).astype(bool),)
+
+
+def _fn_aoi21(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    a, b, c = inputs
+    return (~((a & b) | c),)
+
+
+def _fn_oai21(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    a, b, c = inputs
+    return (~((a | b) & c),)
+
+
+def _fn_ha(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    a, b = inputs
+    return (a ^ b, a & b)
+
+
+def _fn_fa(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    a, b, cin = inputs
+    s = a ^ b ^ cin
+    cout = (a & b) | (cin & (a ^ b))
+    return (s, cout)
+
+
+def _fn_dff(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    # Combinationally, the flip-flop output does not depend on D; the
+    # sequential behaviour is handled explicitly by the logic simulator.
+    return (inputs[0].copy(),)
+
+
+def _fn_filler(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    return _fn_const0(inputs)
+
+
+# ---------------------------------------------------------------------------
+# Master cell definition.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MasterCell:
+    """A library (master) cell definition.
+
+    Attributes:
+        name: Library cell name, e.g. ``"NAND2_X1"``.
+        inputs: Ordered input pin names.
+        outputs: Ordered output pin names.
+        width_sites: Cell width in placement sites.
+        input_cap_ff: Capacitance per input pin in femtofarads.
+        drive_res_kohm: Equivalent output drive resistance in kilo-ohms.
+        intrinsic_delay_ps: Intrinsic (unloaded) delay in picoseconds.
+        leakage_nw: Static leakage power in nanowatts at nominal temperature.
+        internal_energy_fj: Internal switching energy per output transition
+            in femtojoules.
+        function: Vectorized logic function mapping input arrays to output
+            arrays, or ``None`` for non-logic cells (fillers).
+        is_sequential: ``True`` for flip-flops and latches.
+        is_filler: ``True`` for zero-power dummy/filler cells.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    width_sites: int
+    input_cap_ff: float
+    drive_res_kohm: float
+    intrinsic_delay_ps: float
+    leakage_nw: float
+    internal_energy_fj: float
+    function: Optional[Callable[[Sequence[np.ndarray]], Tuple[np.ndarray, ...]]] = None
+    is_sequential: bool = False
+    is_filler: bool = False
+
+    @property
+    def width_um(self) -> float:
+        """Cell width in micrometres."""
+        return self.width_sites * SITE_WIDTH
+
+    @property
+    def height_um(self) -> float:
+        """Cell height in micrometres (one row)."""
+        return ROW_HEIGHT
+
+    @property
+    def area_um2(self) -> float:
+        """Cell area in square micrometres."""
+        return self.width_um * self.height_um
+
+    @property
+    def num_pins(self) -> int:
+        """Total number of signal pins."""
+        return len(self.inputs) + len(self.outputs)
+
+    def evaluate(self, input_values: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+        """Evaluate the cell's logic function on vectorized pin values.
+
+        Args:
+            input_values: One boolean array per input pin, in pin order.
+
+        Returns:
+            One boolean array per output pin, in pin order.
+
+        Raises:
+            ValueError: If the cell has no logic function (e.g. a filler).
+        """
+        if self.function is None:
+            raise ValueError(f"cell {self.name} has no logic function")
+        return self.function(input_values)
+
+
+class CellLibrary:
+    """A collection of master cells plus row/site geometry.
+
+    The default library (see :func:`default_library`) models a 65 nm-class
+    standard-cell set sufficient to build the paper's synthetic arithmetic
+    benchmark: basic gates, compound gates, half/full adders, a mux, a
+    flip-flop, and filler (dummy) cells of several widths.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[MasterCell],
+        site_width: float = SITE_WIDTH,
+        row_height: float = ROW_HEIGHT,
+        vdd: float = VDD,
+    ) -> None:
+        self._cells: Dict[str, MasterCell] = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise ValueError(f"duplicate master cell {cell.name}")
+            self._cells[cell.name] = cell
+        self.site_width = site_width
+        self.row_height = row_height
+        self.vdd = vdd
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __getitem__(self, name: str) -> MasterCell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(f"unknown master cell {name!r}") from None
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def names(self) -> List[str]:
+        """Names of all master cells in the library."""
+        return list(self._cells)
+
+    def get(self, name: str) -> Optional[MasterCell]:
+        """Return the master cell with ``name`` or ``None``."""
+        return self._cells.get(name)
+
+    def add(self, cell: MasterCell) -> None:
+        """Add a master cell, rejecting duplicates."""
+        if cell.name in self._cells:
+            raise ValueError(f"duplicate master cell {cell.name}")
+        self._cells[cell.name] = cell
+
+    def filler_cells(self) -> List[MasterCell]:
+        """Return filler (dummy) cells sorted by decreasing width."""
+        fillers = [c for c in self._cells.values() if c.is_filler]
+        return sorted(fillers, key=lambda c: -c.width_sites)
+
+    def logic_cells(self) -> List[MasterCell]:
+        """Return non-filler cells."""
+        return [c for c in self._cells.values() if not c.is_filler]
+
+    def sequential_cells(self) -> List[MasterCell]:
+        """Return sequential cells (flip-flops)."""
+        return [c for c in self._cells.values() if c.is_sequential]
+
+
+def default_library() -> CellLibrary:
+    """Build the default 65 nm-class cell library.
+
+    Returns:
+        A :class:`CellLibrary` with combinational gates, adder cells, a
+        2:1 mux, a D flip-flop and filler cells of widths 1, 2, 4, 8, 16
+        and 32 sites.
+    """
+    cells: List[MasterCell] = [
+        MasterCell("INV_X1", ("A",), ("Y",), 3, 1.2, 6.0, 8.0, 12.0, 0.4, _fn_inv),
+        MasterCell("INV_X2", ("A",), ("Y",), 4, 2.2, 3.2, 7.0, 22.0, 0.7, _fn_inv),
+        MasterCell("BUF_X1", ("A",), ("Y",), 4, 1.3, 5.5, 16.0, 18.0, 0.8, _fn_buf),
+        MasterCell("BUF_X4", ("A",), ("Y",), 7, 3.5, 1.6, 14.0, 55.0, 2.2, _fn_buf),
+        MasterCell("NAND2_X1", ("A", "B"), ("Y",), 4, 1.4, 6.5, 10.0, 18.0, 0.6, _fn_nand),
+        MasterCell("NAND3_X1", ("A", "B", "C"), ("Y",), 5, 1.5, 7.5, 13.0, 25.0, 0.8, _fn_nand),
+        MasterCell("NOR2_X1", ("A", "B"), ("Y",), 4, 1.5, 8.0, 11.0, 20.0, 0.6, _fn_nor),
+        MasterCell("NOR3_X1", ("A", "B", "C"), ("Y",), 5, 1.6, 9.5, 15.0, 28.0, 0.9, _fn_nor),
+        MasterCell("AND2_X1", ("A", "B"), ("Y",), 5, 1.3, 6.8, 18.0, 24.0, 0.9, _fn_and),
+        MasterCell("OR2_X1", ("A", "B"), ("Y",), 5, 1.4, 7.2, 19.0, 26.0, 0.9, _fn_or),
+        MasterCell("XOR2_X1", ("A", "B"), ("Y",), 7, 2.4, 7.0, 24.0, 40.0, 1.6, _fn_xor),
+        MasterCell("XNOR2_X1", ("A", "B"), ("Y",), 7, 2.4, 7.0, 24.0, 40.0, 1.6, _fn_xnor),
+        MasterCell("AOI21_X1", ("A", "B", "C"), ("Y",), 5, 1.5, 7.8, 14.0, 26.0, 0.8, _fn_aoi21),
+        MasterCell("OAI21_X1", ("A", "B", "C"), ("Y",), 5, 1.5, 7.8, 14.0, 26.0, 0.8, _fn_oai21),
+        MasterCell("MUX2_X1", ("A", "B", "S"), ("Y",), 8, 1.8, 7.0, 26.0, 45.0, 1.8, _fn_mux2),
+        MasterCell("HA_X1", ("A", "B"), ("S", "CO"), 9, 2.2, 7.0, 28.0, 55.0, 2.2, _fn_ha),
+        MasterCell("FA_X1", ("A", "B", "CI"), ("S", "CO"), 13, 2.6, 7.2, 40.0, 90.0, 3.6, _fn_fa),
+        MasterCell(
+            "DFF_X1", ("D",), ("Q",), 15, 1.8, 6.5, 55.0, 110.0, 4.5, _fn_dff, is_sequential=True
+        ),
+    ]
+    for width in (1, 2, 4, 8, 16, 32):
+        cells.append(
+            MasterCell(
+                f"FILL_X{width}",
+                (),
+                (),
+                width,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                _fn_filler,
+                is_filler=True,
+            )
+        )
+    return CellLibrary(cells)

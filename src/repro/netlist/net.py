@@ -1,0 +1,146 @@
+"""Nets connecting cell pins and primary ports."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .cell import Pin
+
+
+class Port:
+    """A primary input or output of the design.
+
+    Ports behave like off-die connections: they have a direction (seen from
+    the design, so a primary *input* port drives a net) and, once the
+    floorplan is known, a position on the die boundary used for wirelength
+    estimation.
+    """
+
+    __slots__ = ("name", "direction", "net", "x", "y")
+
+    def __init__(self, name: str, direction: str) -> None:
+        if direction not in ("input", "output"):
+            raise ValueError(f"invalid port direction {direction!r}")
+        self.name = name
+        self.direction = direction
+        self.net: Optional["Net"] = None
+        self.x: Optional[float] = None
+        self.y: Optional[float] = None
+
+    @property
+    def is_input(self) -> bool:
+        return self.direction == "input"
+
+    @property
+    def is_output(self) -> bool:
+        return self.direction == "output"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Port({self.name}, {self.direction})"
+
+
+class Net:
+    """A signal net.
+
+    A net has at most one driver (a cell output pin or a primary input port)
+    and any number of sinks (cell input pins and primary output ports).
+    """
+
+    __slots__ = ("name", "driver_pin", "driver_port", "sink_pins", "sink_ports")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.driver_pin: Optional[Pin] = None
+        self.driver_port: Optional[Port] = None
+        self.sink_pins: List[Pin] = []
+        self.sink_ports: List[Port] = []
+
+    # -- construction --------------------------------------------------------
+
+    def set_driver(self, pin: Pin) -> None:
+        """Attach a cell output pin as the net driver.
+
+        Raises:
+            ValueError: If the net already has a driver or the pin is not an
+                output pin.
+        """
+        if not pin.is_output:
+            raise ValueError(f"net {self.name}: driver pin {pin.full_name} is not an output")
+        if self.driver_pin is not None or self.driver_port is not None:
+            raise ValueError(f"net {self.name} already has a driver")
+        self.driver_pin = pin
+        pin.net = self
+
+    def set_driver_port(self, port: Port) -> None:
+        """Attach a primary input port as the net driver."""
+        if not port.is_input:
+            raise ValueError(f"net {self.name}: port {port.name} is not a primary input")
+        if self.driver_pin is not None or self.driver_port is not None:
+            raise ValueError(f"net {self.name} already has a driver")
+        self.driver_port = port
+        port.net = self
+
+    def add_sink(self, pin: Pin) -> None:
+        """Attach a cell input pin as a net sink."""
+        if not pin.is_input:
+            raise ValueError(f"net {self.name}: sink pin {pin.full_name} is not an input")
+        self.sink_pins.append(pin)
+        pin.net = self
+
+    def add_sink_port(self, port: Port) -> None:
+        """Attach a primary output port as a net sink."""
+        if not port.is_output:
+            raise ValueError(f"net {self.name}: port {port.name} is not a primary output")
+        self.sink_ports.append(port)
+        port.net = self
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def has_driver(self) -> bool:
+        return self.driver_pin is not None or self.driver_port is not None
+
+    @property
+    def num_sinks(self) -> int:
+        return len(self.sink_pins) + len(self.sink_ports)
+
+    @property
+    def num_terminals(self) -> int:
+        """Total number of pin/port terminals on the net."""
+        return self.num_sinks + (1 if self.has_driver else 0)
+
+    def terminals_xy(self) -> List[tuple]:
+        """Return the ``(x, y)`` coordinates of all placed terminals.
+
+        Cell terminals use the cell centre; port terminals use the port
+        position when assigned.  Unplaced terminals are skipped.
+        """
+        points: List[tuple] = []
+        if self.driver_pin is not None and self.driver_pin.cell.is_placed:
+            points.append(self.driver_pin.cell.center)
+        if self.driver_port is not None and self.driver_port.x is not None:
+            points.append((self.driver_port.x, self.driver_port.y))
+        for pin in self.sink_pins:
+            if pin.cell.is_placed:
+                points.append(pin.cell.center)
+        for port in self.sink_ports:
+            if port.x is not None:
+                points.append((port.x, port.y))
+        return points
+
+    def hpwl(self) -> float:
+        """Half-perimeter wirelength of the net over its placed terminals.
+
+        Returns:
+            The HPWL in micrometres, or 0.0 if fewer than two terminals are
+            placed.
+        """
+        points = self.terminals_xy()
+        if len(points) < 2:
+            return 0.0
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Net({self.name}, sinks={self.num_sinks})"

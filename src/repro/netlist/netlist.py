@@ -1,0 +1,347 @@
+"""Gate-level netlist container.
+
+A :class:`Netlist` holds cell instances, nets and primary ports, and offers
+the structural queries the rest of the system needs: levelization for the
+vectorized logic simulator, total cell area for utilization bookkeeping, and
+net/fanout statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .cell import CellInstance, Pin
+from .library import CellLibrary, MasterCell
+from .net import Net, Port
+
+
+class Netlist:
+    """A flat gate-level netlist.
+
+    Attributes:
+        name: Design name.
+        library: The :class:`CellLibrary` instances refer to.
+    """
+
+    def __init__(self, name: str, library: CellLibrary) -> None:
+        self.name = name
+        self.library = library
+        self.cells: Dict[str, CellInstance] = {}
+        self.nets: Dict[str, Net] = {}
+        self.ports: Dict[str, Port] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def add_cell(self, name: str, master: str | MasterCell, unit: str = "") -> CellInstance:
+        """Create and register a cell instance.
+
+        Args:
+            name: Unique instance name.
+            master: Master cell name (looked up in the library) or object.
+            unit: Logical block the cell belongs to.
+
+        Returns:
+            The created :class:`CellInstance`.
+
+        Raises:
+            ValueError: If an instance with that name already exists.
+        """
+        if name in self.cells:
+            raise ValueError(f"duplicate cell instance {name!r}")
+        master_cell = self.library[master] if isinstance(master, str) else master
+        inst = CellInstance(name, master_cell, unit=unit)
+        self.cells[name] = inst
+        return inst
+
+    def add_net(self, name: str) -> Net:
+        """Create and register a net, or return the existing one."""
+        net = self.nets.get(name)
+        if net is None:
+            net = Net(name)
+            self.nets[name] = net
+        return net
+
+    def add_port(self, name: str, direction: str) -> Port:
+        """Create and register a primary port.
+
+        Raises:
+            ValueError: If a port with that name already exists.
+        """
+        if name in self.ports:
+            raise ValueError(f"duplicate port {name!r}")
+        port = Port(name, direction)
+        self.ports[name] = port
+        return port
+
+    def connect(self, net_name: str, pin: Pin) -> Net:
+        """Connect a cell pin to the named net (creating it if needed)."""
+        net = self.add_net(net_name)
+        if pin.is_output:
+            net.set_driver(pin)
+        else:
+            net.add_sink(pin)
+        return net
+
+    def connect_port(self, net_name: str, port_name: str) -> Net:
+        """Connect a primary port to the named net (creating it if needed)."""
+        net = self.add_net(net_name)
+        port = self.ports[port_name]
+        if port.is_input:
+            net.set_driver_port(port)
+        else:
+            net.add_sink_port(port)
+        return net
+
+    def remove_cell(self, name: str) -> None:
+        """Remove a cell instance and disconnect its pins from their nets."""
+        inst = self.cells.pop(name)
+        for pin in inst.pins.values():
+            net = pin.net
+            if net is None:
+                continue
+            if net.driver_pin is pin:
+                net.driver_pin = None
+            if pin in net.sink_pins:
+                net.sink_pins.remove(pin)
+            pin.net = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def primary_inputs(self) -> List[Port]:
+        """Primary input ports."""
+        return [p for p in self.ports.values() if p.is_input]
+
+    @property
+    def primary_outputs(self) -> List[Port]:
+        """Primary output ports."""
+        return [p for p in self.ports.values() if p.is_output]
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    def logic_cells(self) -> List[CellInstance]:
+        """Cell instances that are not fillers."""
+        return [c for c in self.cells.values() if not c.is_filler]
+
+    def filler_cells(self) -> List[CellInstance]:
+        """Filler cell instances."""
+        return [c for c in self.cells.values() if c.is_filler]
+
+    def sequential_cells(self) -> List[CellInstance]:
+        """Flip-flop instances."""
+        return [c for c in self.cells.values() if c.is_sequential]
+
+    def combinational_cells(self) -> List[CellInstance]:
+        """Non-sequential, non-filler instances."""
+        return [c for c in self.cells.values() if not c.is_sequential and not c.is_filler]
+
+    def total_cell_area(self, include_fillers: bool = False) -> float:
+        """Sum of instance areas in square micrometres."""
+        return sum(
+            c.area for c in self.cells.values() if include_fillers or not c.is_filler
+        )
+
+    def units(self) -> List[str]:
+        """Sorted list of distinct non-empty unit labels."""
+        return sorted({c.unit for c in self.cells.values() if c.unit})
+
+    def cells_in_unit(self, unit: str) -> List[CellInstance]:
+        """All cell instances whose ``unit`` label equals ``unit``."""
+        return [c for c in self.cells.values() if c.unit == unit]
+
+    def fanout_cells(self, inst: CellInstance) -> List[CellInstance]:
+        """Distinct cells driven by any output pin of ``inst``."""
+        seen: Dict[str, CellInstance] = {}
+        for pin in inst.output_pins:
+            if pin.net is None:
+                continue
+            for sink in pin.net.sink_pins:
+                seen[sink.cell.name] = sink.cell
+        return list(seen.values())
+
+    def fanin_cells(self, inst: CellInstance) -> List[CellInstance]:
+        """Distinct cells driving any input pin of ``inst``."""
+        seen: Dict[str, CellInstance] = {}
+        for pin in inst.input_pins:
+            if pin.net is None or pin.net.driver_pin is None:
+                continue
+            driver = pin.net.driver_pin.cell
+            seen[driver.name] = driver
+        return list(seen.values())
+
+    # ------------------------------------------------------------------
+    # Levelization
+    # ------------------------------------------------------------------
+
+    def levelize(self) -> List[CellInstance]:
+        """Topologically order the combinational cells.
+
+        Sequential cell outputs and primary inputs are treated as sources;
+        sequential cell data inputs and primary outputs as sinks, so any
+        cycle through a flip-flop is broken at the flip-flop boundary.
+
+        Returns:
+            Combinational cell instances in a valid evaluation order.
+
+        Raises:
+            ValueError: If the combinational logic contains a cycle.
+        """
+        comb = self.combinational_cells()
+        indegree: Dict[str, int] = {c.name: 0 for c in comb}
+        dependents: Dict[str, List[CellInstance]] = {c.name: [] for c in comb}
+
+        for inst in comb:
+            for pin in inst.input_pins:
+                net = pin.net
+                if net is None or net.driver_pin is None:
+                    continue
+                driver = net.driver_pin.cell
+                if driver.is_sequential or driver.is_filler:
+                    continue
+                indegree[inst.name] += 1
+                dependents[driver.name].append(inst)
+
+        queue: deque = deque(c for c in comb if indegree[c.name] == 0)
+        order: List[CellInstance] = []
+        while queue:
+            inst = queue.popleft()
+            order.append(inst)
+            for dep in dependents[inst.name]:
+                indegree[dep.name] -= 1
+                if indegree[dep.name] == 0:
+                    queue.append(dep)
+
+        if len(order) != len(comb):
+            unresolved = [name for name, deg in indegree.items() if deg > 0]
+            raise ValueError(
+                "combinational cycle detected involving cells: "
+                + ", ".join(sorted(unresolved)[:10])
+            )
+        return order
+
+    # ------------------------------------------------------------------
+    # Merging (used by the synthetic benchmark generator)
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "Netlist", prefix: str, unit: Optional[str] = None) -> None:
+        """Merge another netlist into this one, prefixing all names.
+
+        The other netlist's primary ports become ports of this design named
+        ``<prefix><port>``.  Cells and nets are copied with the same prefix.
+
+        Args:
+            other: The netlist to absorb.
+            prefix: String prepended to every cell, net and port name.
+            unit: Unit label assigned to the copied cells; defaults to the
+                cells' existing labels, or ``prefix`` with a trailing ``_``
+                stripped when a cell has no label.
+        """
+        default_unit = unit if unit is not None else prefix.rstrip("_")
+        name_map: Dict[str, CellInstance] = {}
+        for inst in other.cells.values():
+            new_unit = unit if unit is not None else (inst.unit or default_unit)
+            new = self.add_cell(prefix + inst.name, inst.master, unit=new_unit)
+            if inst.is_placed:
+                new.place(inst.x, inst.y, inst.row)
+            name_map[inst.name] = new
+
+        for port in other.ports.values():
+            self.add_port(prefix + port.name, port.direction)
+
+        for net in other.nets.values():
+            new_name = prefix + net.name
+            if net.driver_pin is not None:
+                self.connect(new_name, name_map[net.driver_pin.cell.name].pin(net.driver_pin.name))
+            if net.driver_port is not None:
+                self.connect_port(new_name, prefix + net.driver_port.name)
+            for pin in net.sink_pins:
+                self.connect(new_name, name_map[pin.cell.name].pin(pin.name))
+            for port in net.sink_ports:
+                self.connect_port(new_name, prefix + port.name)
+
+    def copy(self, name: Optional[str] = None) -> "Netlist":
+        """Deep-copy the netlist (cells, nets, ports, placement data).
+
+        The copy shares the (immutable) library and master cells but owns
+        fresh cell instances, nets and ports, so transformations applied to
+        the copy never disturb the original.  Instance, net and port names
+        are preserved, which keeps per-cell annotations (e.g. power reports
+        keyed by cell name) valid for the copy.
+        """
+        clone = Netlist(name if name is not None else self.name, self.library)
+        for inst in self.cells.values():
+            new = clone.add_cell(inst.name, inst.master, unit=inst.unit)
+            if inst.is_placed:
+                new.place(inst.x, inst.y, inst.row)
+            new.fixed = inst.fixed
+        for port in self.ports.values():
+            new_port = clone.add_port(port.name, port.direction)
+            new_port.x = port.x
+            new_port.y = port.y
+        for net in self.nets.values():
+            clone.add_net(net.name)
+            if net.driver_pin is not None:
+                clone.connect(net.name, clone.cells[net.driver_pin.cell.name].pin(net.driver_pin.name))
+            if net.driver_port is not None:
+                clone.connect_port(net.name, net.driver_port.name)
+            for pin in net.sink_pins:
+                clone.connect(net.name, clone.cells[pin.cell.name].pin(pin.name))
+            for port in net.sink_ports:
+                clone.connect_port(net.name, port.name)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Statistics / validation
+    # ------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics used in reports and sanity checks."""
+        comb = self.combinational_cells()
+        seq = self.sequential_cells()
+        return {
+            "num_cells": float(self.num_cells),
+            "num_logic_cells": float(len(self.logic_cells())),
+            "num_combinational": float(len(comb)),
+            "num_sequential": float(len(seq)),
+            "num_fillers": float(len(self.filler_cells())),
+            "num_nets": float(self.num_nets),
+            "num_ports": float(len(self.ports)),
+            "total_cell_area_um2": self.total_cell_area(),
+        }
+
+    def check(self) -> List[str]:
+        """Run structural sanity checks.
+
+        Returns:
+            A list of human-readable problems; empty when the netlist is
+            structurally sound (every non-filler input pin driven, every net
+            with a driver, no dangling drivers on multi-driven nets).
+        """
+        problems: List[str] = []
+        for net in self.nets.values():
+            if not net.has_driver and net.num_sinks > 0:
+                problems.append(f"net {net.name} has sinks but no driver")
+        for inst in self.cells.values():
+            if inst.is_filler:
+                continue
+            for pin in inst.input_pins:
+                if pin.net is None:
+                    problems.append(f"input pin {pin.full_name} is unconnected")
+        for port in self.primary_outputs:
+            if port.net is None:
+                problems.append(f"primary output {port.name} is unconnected")
+        return problems
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Netlist({self.name}, cells={self.num_cells}, nets={self.num_nets})"

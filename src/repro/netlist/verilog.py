@@ -1,0 +1,150 @@
+"""Structural Verilog-style netlist reader and writer.
+
+The paper's flow hands placed netlists between Synopsys tools.  To mirror
+that hand-off (and to let users inspect or re-import generated circuits) this
+module serializes a :class:`~repro.netlist.netlist.Netlist` to a small,
+structural subset of Verilog and parses the same subset back.
+
+Supported subset::
+
+    module <name> (port, port, ...);
+      input  a, b;
+      output y;
+      wire   n1, n2;
+      NAND2_X1 u1 (.A(a), .B(b), .Y(n1));
+      ...
+    endmodule
+
+Only named port connections are supported on instances; that is what the
+writer emits.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .library import CellLibrary
+from .netlist import Netlist
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_\[\]\.]*"
+
+_MODULE_RE = re.compile(rf"module\s+({_IDENT})\s*\((.*?)\)\s*;", re.S)
+_DECL_RE = re.compile(rf"(input|output|wire)\s+(.*?);", re.S)
+_INST_RE = re.compile(rf"({_IDENT})\s+({_IDENT})\s*\((.*?)\)\s*;", re.S)
+_CONN_RE = re.compile(rf"\.({_IDENT})\s*\(\s*({_IDENT})\s*\)")
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Serialize a netlist to structural Verilog text.
+
+    Filler cells are emitted as instances with no pin connections so that a
+    round-trip preserves the full placed cell list.
+
+    Args:
+        netlist: The design to serialize.
+
+    Returns:
+        The Verilog source as a string.
+    """
+    lines: List[str] = []
+    port_names = list(netlist.ports)
+    lines.append(f"module {netlist.name} ({', '.join(port_names)});")
+
+    inputs = [p.name for p in netlist.primary_inputs]
+    outputs = [p.name for p in netlist.primary_outputs]
+    if inputs:
+        lines.append(f"  input {', '.join(inputs)};")
+    if outputs:
+        lines.append(f"  output {', '.join(outputs)};")
+
+    # In Verilog a port *is* a net, while the data model keeps them separate;
+    # nets attached to a port are therefore emitted under the port's name.
+    rename: Dict[str, str] = {}
+    for net in netlist.nets.values():
+        if net.driver_port is not None:
+            rename[net.name] = net.driver_port.name
+        elif net.sink_ports:
+            rename[net.name] = net.sink_ports[0].name
+
+    wires = [
+        name
+        for name in netlist.nets
+        if rename.get(name, name) not in netlist.ports
+    ]
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    lines.append("")
+
+    for inst in netlist.cells.values():
+        conns = []
+        for pin in list(inst.input_pins) + list(inst.output_pins):
+            if pin.net is not None:
+                conns.append(f".{pin.name}({rename.get(pin.net.name, pin.net.name)})")
+        lines.append(f"  {inst.master.name} {inst.name} ({', '.join(conns)});")
+
+    lines.append("endmodule")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _split_names(decl: str) -> List[str]:
+    return [token.strip() for token in decl.replace("\n", " ").split(",") if token.strip()]
+
+
+def read_verilog(text: str, library: CellLibrary) -> Netlist:
+    """Parse structural Verilog text into a netlist.
+
+    Args:
+        text: Verilog source (the subset produced by :func:`write_verilog`).
+        library: Library used to resolve master cell names.
+
+    Returns:
+        The reconstructed :class:`Netlist`.
+
+    Raises:
+        ValueError: If no module is found or an instance references an
+            unknown master cell.
+    """
+    text = re.sub(r"//.*", "", text)
+    module_match = _MODULE_RE.search(text)
+    if module_match is None:
+        raise ValueError("no module definition found")
+    name = module_match.group(1)
+    body = text[module_match.end():]
+    end_idx = body.find("endmodule")
+    if end_idx >= 0:
+        body = body[:end_idx]
+
+    netlist = Netlist(name, library)
+
+    directions: Dict[str, str] = {}
+    for decl_match in _DECL_RE.finditer(body):
+        kind, names = decl_match.group(1), _split_names(decl_match.group(2))
+        if kind in ("input", "output"):
+            for port_name in names:
+                directions[port_name] = kind
+
+    for port_name, kind in directions.items():
+        netlist.add_port(port_name, kind)
+
+    # Remove declarations so the instance regex does not match them.
+    body = _DECL_RE.sub("", body)
+
+    for inst_match in _INST_RE.finditer(body):
+        master_name, inst_name, conn_text = inst_match.groups()
+        if master_name in ("module",):
+            continue
+        if master_name not in library:
+            raise ValueError(f"unknown master cell {master_name!r} for instance {inst_name}")
+        inst = netlist.add_cell(inst_name, master_name)
+        for pin_name, net_name in _CONN_RE.findall(conn_text):
+            pin = inst.pin(pin_name)
+            netlist.connect(net_name, pin)
+
+    # Hook primary ports to their like-named nets.
+    for port_name in directions:
+        if port_name in netlist.nets:
+            netlist.connect_port(port_name, port_name)
+
+    return netlist

@@ -1,0 +1,89 @@
+"""Detailed placement improvement.
+
+A lightweight detailed-placement pass in the spirit of what commercial
+tools run after legalization: adjacent cells within a row are swapped when
+the swap reduces total half-perimeter wirelength.  The pass preserves
+legality (cells stay in the same row span) and is intentionally local so
+that the post-placement thermal techniques remain the dominant effect on
+the layout.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist import CellInstance
+from .placement import Placement, Row
+
+
+def _cell_hpwl(cell: CellInstance) -> float:
+    """Sum of HPWL over all nets attached to ``cell``."""
+    total = 0.0
+    seen = set()
+    for pin in cell.pins.values():
+        net = pin.net
+        if net is None or net.name in seen:
+            continue
+        seen.add(net.name)
+        total += net.hpwl()
+    return total
+
+
+def _swap_positions(row: Row, a: CellInstance, b: CellInstance) -> None:
+    """Swap two adjacent cells ``a`` (left) and ``b`` (right) within a row."""
+    new_b_x = a.x
+    new_a_x = a.x + b.width
+    b.place(new_b_x, row.y, row.index)
+    a.place(new_a_x, row.y, row.index)
+    row.sort()
+
+
+def improve_row(placement: Placement, row: Row) -> int:
+    """One pass of adjacent-pair swaps over a row.
+
+    Returns:
+        The number of swaps applied.
+    """
+    row.sort()
+    swaps = 0
+    i = 0
+    while i + 1 < len(row.cells):
+        left = row.cells[i]
+        right = row.cells[i + 1]
+        # Only swap abutting or near-abutting neighbours so whitespace
+        # created on purpose (wrappers, spread rows) is not disturbed.
+        if right.x - (left.x + left.width) > placement.floorplan.site_width:
+            i += 1
+            continue
+        before = _cell_hpwl(left) + _cell_hpwl(right)
+        _swap_positions(row, left, right)
+        after = _cell_hpwl(left) + _cell_hpwl(right)
+        if after >= before - 1e-9:
+            # Revert: swap back (right is now left of left).
+            _swap_positions(row, right, left)
+        else:
+            swaps += 1
+        i += 1
+    return swaps
+
+
+def improve_placement(placement: Placement, max_passes: int = 2) -> int:
+    """Run adjacent-swap improvement over every row.
+
+    Args:
+        placement: Placement to improve in place.
+        max_passes: Maximum number of full sweeps over all rows; the loop
+            stops early when a sweep applies no swap.
+
+    Returns:
+        Total number of swaps applied.
+    """
+    total = 0
+    for _ in range(max_passes):
+        swaps = 0
+        for row in placement.rows:
+            swaps += improve_row(placement, row)
+        total += swaps
+        if swaps == 0:
+            break
+    return total

@@ -1,0 +1,212 @@
+"""Quadratic (analytical) global placement.
+
+The paper's circuits are placed with a commercial tool (Synopsys IC
+Compiler).  As a substitute, this module implements the classic quadratic
+placement formulation: minimise the weighted sum of squared pin-to-pin
+distances, with primary ports fixed on the core boundary and a weak anchor
+pulling every cell towards the centre of the region its logical unit was
+assigned to by the slicing partition.  The resulting target positions are
+then legalised per region (see :mod:`repro.placement.legalize`).
+
+Nets are modelled with the standard clique approximation: a ``p``-pin net
+contributes edges of weight ``1 / (p - 1)`` between every pair of its
+terminals, which reproduces the net's quadratic star cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..netlist import CellInstance, Netlist
+from .floorplan import Floorplan, Rect
+
+
+@dataclass
+class GlobalPlacementResult:
+    """Target (un-legalised) positions produced by the quadratic placer.
+
+    Attributes:
+        positions: Mapping cell name -> (x, y) target centre in micrometres.
+        objective: Final quadratic wirelength objective value.
+    """
+
+    positions: Dict[str, Tuple[float, float]]
+    objective: float
+
+
+def assign_port_positions(netlist: Netlist, floorplan: Floorplan) -> None:
+    """Spread primary ports evenly around the core boundary.
+
+    Ports are ordered by name and distributed clockwise along the core
+    perimeter starting at the lower-left corner.  Positions are stored on
+    the ports themselves (``port.x``, ``port.y``).
+    """
+    ports = sorted(netlist.ports.values(), key=lambda p: p.name)
+    if not ports:
+        return
+    width = floorplan.core_width
+    height = floorplan.core_height
+    perimeter = 2.0 * (width + height)
+    step = perimeter / len(ports)
+    for i, port in enumerate(ports):
+        distance = (i + 0.5) * step
+        if distance < width:
+            port.x, port.y = distance, 0.0
+        elif distance < width + height:
+            port.x, port.y = width, distance - width
+        elif distance < 2.0 * width + height:
+            port.x, port.y = 2.0 * width + height - distance, height
+        else:
+            port.x, port.y = 0.0, perimeter - distance
+
+
+class QuadraticPlacer:
+    """Analytical global placer based on a sparse quadratic program.
+
+    Args:
+        netlist: The design to place.
+        floorplan: Core geometry; ports must already have boundary positions
+            (see :func:`assign_port_positions`).
+        regions: Optional mapping unit name -> :class:`Rect`; each cell is
+            anchored to its unit's region centre.
+        anchor_weight: Weight of the region-centre anchor (relative to a
+            two-pin net weight of 1.0).
+        max_clique_pins: Nets with more terminals than this are modelled by
+            connecting each pin to the net's (fixed-point iterated) centroid
+            instead of a full clique, to keep the matrix sparse.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        floorplan: Floorplan,
+        regions: Optional[Dict[str, Rect]] = None,
+        anchor_weight: float = 0.25,
+        max_clique_pins: int = 16,
+    ) -> None:
+        self.netlist = netlist
+        self.floorplan = floorplan
+        self.regions = regions or {}
+        self.anchor_weight = anchor_weight
+        self.max_clique_pins = max_clique_pins
+
+        self._movable = [c for c in netlist.cells.values() if not c.is_filler and not c.fixed]
+        self._index = {cell.name: i for i, cell in enumerate(self._movable)}
+
+    # ------------------------------------------------------------------
+
+    def _net_terminals(self, net) -> Tuple[List[int], List[Tuple[float, float]]]:
+        """Split a net's terminals into movable cell indices and fixed points."""
+        movable: List[int] = []
+        fixed: List[Tuple[float, float]] = []
+        pins = []
+        if net.driver_pin is not None:
+            pins.append(net.driver_pin)
+        pins.extend(net.sink_pins)
+        for pin in pins:
+            idx = self._index.get(pin.cell.name)
+            if idx is None:
+                if pin.cell.is_placed:
+                    fixed.append(pin.cell.center)
+            else:
+                movable.append(idx)
+        ports = []
+        if net.driver_port is not None:
+            ports.append(net.driver_port)
+        ports.extend(net.sink_ports)
+        for port in ports:
+            if port.x is not None and port.y is not None:
+                fixed.append((port.x, port.y))
+        return movable, fixed
+
+    def _build_system(self):
+        """Assemble the Laplacian-like system matrices and RHS vectors."""
+        n = len(self._movable)
+        diag = np.zeros(n)
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        bx = np.zeros(n)
+        by = np.zeros(n)
+
+        def add_edge(i: int, j: int, w: float) -> None:
+            diag[i] += w
+            diag[j] += w
+            rows.append(i)
+            cols.append(j)
+            vals.append(-w)
+            rows.append(j)
+            cols.append(i)
+            vals.append(-w)
+
+        def add_fixed(i: int, x: float, y: float, w: float) -> None:
+            diag[i] += w
+            bx[i] += w * x
+            by[i] += w * y
+
+        for net in self.netlist.nets.values():
+            movable, fixed = self._net_terminals(net)
+            num_terms = len(movable) + len(fixed)
+            if num_terms < 2:
+                continue
+            if num_terms <= self.max_clique_pins:
+                weight = 1.0 / (num_terms - 1)
+                for a in range(len(movable)):
+                    for b in range(a + 1, len(movable)):
+                        add_edge(movable[a], movable[b], weight)
+                    for fx, fy in fixed:
+                        add_fixed(movable[a], fx, fy, weight)
+            else:
+                # Star model: connect every movable pin to the centroid of
+                # the fixed pins (or the core centre when there are none).
+                weight = 2.0 / num_terms
+                if fixed:
+                    cx = sum(p[0] for p in fixed) / len(fixed)
+                    cy = sum(p[1] for p in fixed) / len(fixed)
+                else:
+                    cx, cy = self.floorplan.core_rect.center
+                for idx in movable:
+                    add_fixed(idx, cx, cy, weight)
+
+        # Region-centre anchors keep every cell attracted to its unit region
+        # and guarantee a non-singular system.
+        core_center = self.floorplan.core_rect.center
+        for i, cell in enumerate(self._movable):
+            region = self.regions.get(cell.unit)
+            cx, cy = region.center if region is not None else core_center
+            add_fixed(i, cx, cy, self.anchor_weight)
+
+        laplacian = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        laplacian = laplacian + sp.diags(diag)
+        return laplacian, bx, by
+
+    def run(self) -> GlobalPlacementResult:
+        """Solve the quadratic program and return target cell positions."""
+        if not self._movable:
+            return GlobalPlacementResult({}, 0.0)
+        matrix, bx, by = self._build_system()
+        x = self._solve(matrix, bx)
+        y = self._solve(matrix, by)
+
+        # Clamp to the core.
+        x = np.clip(x, 0.0, self.floorplan.core_width)
+        y = np.clip(y, 0.0, self.floorplan.core_height)
+
+        positions = {
+            cell.name: (float(x[i]), float(y[i])) for i, cell in enumerate(self._movable)
+        }
+        objective = float(x @ (matrix @ x) - 2 * bx @ x + y @ (matrix @ y) - 2 * by @ y)
+        return GlobalPlacementResult(positions, objective)
+
+    @staticmethod
+    def _solve(matrix: sp.csr_matrix, rhs: np.ndarray) -> np.ndarray:
+        """Solve the SPD system with conjugate gradients (LU fallback)."""
+        solution, info = spla.cg(matrix, rhs, rtol=1e-6, maxiter=2000)
+        if info != 0:
+            solution = spla.spsolve(matrix.tocsc(), rhs)
+        return np.asarray(solution, dtype=float)

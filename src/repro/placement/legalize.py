@@ -1,0 +1,217 @@
+"""Legalization: snap target positions to legal, non-overlapping row sites.
+
+Two legalizers are provided:
+
+* :func:`pack_into_region` — region-constrained row packing.  Cells are
+  binned to the region's rows by their target y, ordered by target x, and
+  spread evenly across each row.  Used by the top-level placer to realise
+  the slicing-partition placement (one region per arithmetic unit), which
+  yields the uniform cell density a commercial placer targets.
+* :func:`tetris_legalize` — the classic Tetris/abacus-style greedy
+  legalizer that processes cells in order of target x and appends each one
+  to the row minimising its displacement.  Used for incremental legalisation
+  after local moves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist import CellInstance
+from .floorplan import Rect
+from .placement import Placement
+
+
+def _region_rows(placement: Placement, region: Rect) -> List[int]:
+    """Indices of rows whose vertical span lies (mostly) inside ``region``."""
+    row_height = placement.floorplan.row_height
+    rows = []
+    for row in placement.rows:
+        mid = row.y + row_height / 2.0
+        if region.y0 <= mid < region.y1:
+            rows.append(row.index)
+    return rows
+
+
+def pack_into_region(
+    placement: Placement,
+    cells: Sequence[CellInstance],
+    region: Rect,
+    targets: Optional[Dict[str, Tuple[float, float]]] = None,
+) -> None:
+    """Legally place ``cells`` inside ``region`` with uniform density.
+
+    Cells are distributed over the region's rows proportionally to row
+    capacity, honouring their target positions when provided: cells with a
+    lower target y go to lower rows, and within a row cells are ordered by
+    target x and spread evenly between the region's left and right edges.
+
+    Args:
+        placement: The placement database (rows are modified in place).
+        cells: Cells to place; any existing row assignment is discarded.
+        region: Region rectangle; must intersect at least one row.
+        targets: Optional mapping cell name -> target (x, y) centre.  Cells
+            without a target keep their current position as the target, or
+            the region centre if unplaced.
+
+    Raises:
+        ValueError: If the region covers no rows or the cells do not fit in
+            the region's total row capacity.
+    """
+    row_indices = _region_rows(placement, region)
+    if not row_indices:
+        raise ValueError("region does not cover any placement row")
+
+    x0 = max(region.x0, 0.0)
+    x1 = min(region.x1, placement.floorplan.core_width)
+    span = x1 - x0
+    total_capacity = span * len(row_indices)
+    total_width = sum(c.width for c in cells)
+    if total_width > total_capacity + 1e-6:
+        raise ValueError(
+            f"cells (width {total_width:.1f}um) do not fit region capacity "
+            f"({total_capacity:.1f}um)"
+        )
+
+    def target_of(cell: CellInstance) -> Tuple[float, float]:
+        if targets is not None and cell.name in targets:
+            return targets[cell.name]
+        if cell.is_placed:
+            return cell.center
+        return region.center
+
+    # Detach from any previous rows.
+    for cell in cells:
+        placement.remove(cell)
+
+    # Order by target y then x, and split into per-row groups of roughly
+    # equal total width so density is uniform across the region.
+    ordered = sorted(cells, key=lambda c: (target_of(c)[1], target_of(c)[0]))
+    num_rows = len(row_indices)
+    per_row_width = total_width / num_rows if num_rows else 0.0
+
+    groups: List[List[CellInstance]] = [[] for _ in range(num_rows)]
+    acc = 0.0
+    row_cursor = 0
+    for cell in ordered:
+        if acc > per_row_width * (row_cursor + 1) - cell.width / 2.0 and row_cursor < num_rows - 1:
+            row_cursor += 1
+        groups[row_cursor].append(cell)
+        acc += cell.width
+
+    for group, row_index in zip(groups, row_indices):
+        row = placement.rows[row_index]
+        group.sort(key=lambda c: target_of(c)[0])
+        cursor = x0
+        # Temporarily append; spacing handled below.
+        for cell in group:
+            row.add(cell, cursor)
+            cursor += cell.width
+        _spread_span(placement, row_index, group, x0, x1)
+
+
+def _spread_span(
+    placement: Placement, row_index: int, group: Sequence[CellInstance], x0: float, x1: float
+) -> None:
+    """Evenly distribute ``group`` (already in the row) over ``[x0, x1]``."""
+    row = placement.rows[row_index]
+    site = placement.floorplan.site_width
+    total_width = sum(c.width for c in group)
+    slack = (x1 - x0) - total_width
+    if slack < 0 or not group:
+        return
+    gap = slack / (len(group) + 1)
+    cursor = x0 + gap
+    for cell in sorted(group, key=lambda c: c.x):
+        x = placement.floorplan.snap_x(cursor)
+        x = min(max(x, x0), x1 - cell.width)
+        cell.place(x, row.y, row.index)
+        cursor = max(cursor + cell.width + gap, x + cell.width)
+    row.sort()
+    _resolve_row_overlaps(row, site)
+
+
+def _resolve_row_overlaps(row, site_width: float) -> None:
+    """Shift cells right (then clamp left) to remove any residual overlap."""
+    row.sort()
+    cursor = row.x_start
+    for cell in row.cells:
+        x = max(cell.x, cursor)
+        cell.place(x, row.y, row.index)
+        cursor = x + cell.width
+    # If the last cell spilled out of the row, push the chain back left.
+    overflow = cursor - row.x_end
+    if overflow > 1e-9:
+        cursor = row.x_end
+        for cell in reversed(row.cells):
+            x = min(cell.x, cursor - cell.width)
+            cell.place(x, row.y, row.index)
+            cursor = x
+
+
+def tetris_legalize(
+    placement: Placement,
+    cells: Sequence[CellInstance],
+    targets: Optional[Dict[str, Tuple[float, float]]] = None,
+    region: Optional[Rect] = None,
+) -> None:
+    """Greedy Tetris-style legalization of ``cells``.
+
+    Cells are processed in increasing target x; each cell is appended to the
+    row (restricted to ``region`` when given) that minimises the resulting
+    displacement from its target position, at the row's current fill cursor.
+
+    Args:
+        placement: Placement database (modified in place).
+        cells: Cells to legalise.
+        targets: Optional cell name -> target centre mapping; defaults to
+            each cell's current position.
+        region: Optional region restricting the candidate rows and x span.
+    """
+    floorplan = placement.floorplan
+    row_indices = (
+        _region_rows(placement, region) if region is not None else list(range(len(placement.rows)))
+    )
+    if not row_indices:
+        raise ValueError("no rows available for legalization")
+    x_min = max(region.x0, 0.0) if region is not None else 0.0
+    x_max = min(region.x1, floorplan.core_width) if region is not None else floorplan.core_width
+
+    def target_of(cell: CellInstance) -> Tuple[float, float]:
+        if targets is not None and cell.name in targets:
+            return targets[cell.name]
+        if cell.is_placed:
+            return cell.center
+        return floorplan.core_rect.center
+
+    for cell in cells:
+        placement.remove(cell)
+
+    cursors = {idx: max(x_min, placement.rows[idx].x_start) for idx in row_indices}
+    for idx in row_indices:
+        row = placement.rows[idx]
+        for existing in row.cells:
+            cursors[idx] = max(cursors[idx], existing.x + existing.width)
+
+    for cell in sorted(cells, key=lambda c: target_of(c)[0]):
+        tx, ty = target_of(cell)
+        best_row = None
+        best_cost = float("inf")
+        for idx in row_indices:
+            cursor = cursors[idx]
+            if cursor + cell.width > x_max + 1e-9:
+                continue
+            row_y = placement.rows[idx].y
+            cost = abs(cursor - tx) + abs(row_y + floorplan.row_height / 2.0 - ty)
+            if cost < best_cost:
+                best_cost = cost
+                best_row = idx
+        if best_row is None:
+            raise ValueError(f"no row can accommodate cell {cell.name}")
+        row = placement.rows[best_row]
+        x = floorplan.snap_x(max(cursors[best_row], x_min))
+        x = min(x, x_max - cell.width)
+        row.add(cell, x)
+        row.sort()
+        cursors[best_row] = x + cell.width

@@ -1,0 +1,449 @@
+"""Row-based placement database.
+
+:class:`Placement` is the object the post-placement techniques manipulate:
+it couples a netlist with a :class:`~repro.placement.floorplan.Floorplan`
+and keeps, for every placement row, the ordered list of cells in that row.
+It provides legality checks, wirelength and utilization queries, and the
+row-level editing operations (insert, remove, pack, spread) that the empty
+row insertion and hotspot wrapper transformations are built from.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..netlist import CellInstance, Netlist
+from .floorplan import Floorplan, Rect
+
+
+class Row:
+    """A single placement row: ordered, non-overlapping cells.
+
+    Attributes:
+        index: Row index (0 = bottom).
+        y: Bottom y coordinate in micrometres.
+        x_start: Left edge of the usable row span.
+        x_end: Right edge of the usable row span.
+    """
+
+    def __init__(self, index: int, y: float, x_start: float, x_end: float) -> None:
+        self.index = index
+        self.y = y
+        self.x_start = x_start
+        self.x_end = x_end
+        self.cells: List[CellInstance] = []
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        """Usable row width in micrometres."""
+        return self.x_end - self.x_start
+
+    @property
+    def occupied_width(self) -> float:
+        """Sum of widths of cells currently in the row."""
+        return sum(cell.width for cell in self.cells)
+
+    @property
+    def free_width(self) -> float:
+        """Row width not covered by cells."""
+        return self.width - self.occupied_width
+
+    def utilization(self) -> float:
+        """Fraction of the row width covered by cells."""
+        if self.width <= 0:
+            return 0.0
+        return self.occupied_width / self.width
+
+    def sort(self) -> None:
+        """Sort cells by their x coordinate."""
+        self.cells.sort(key=lambda c: c.x)
+
+    def gaps(self) -> List[Tuple[float, float]]:
+        """Free intervals ``(x0, x1)`` between cells, left to right."""
+        self.sort()
+        gaps: List[Tuple[float, float]] = []
+        cursor = self.x_start
+        for cell in self.cells:
+            if cell.x > cursor:
+                gaps.append((cursor, cell.x))
+            cursor = max(cursor, cell.x + cell.width)
+        if cursor < self.x_end:
+            gaps.append((cursor, self.x_end))
+        return gaps
+
+    def overlaps(self) -> List[Tuple[str, str]]:
+        """Pairs of cell names that overlap in this row."""
+        self.sort()
+        bad: List[Tuple[str, str]] = []
+        for left, right in zip(self.cells, self.cells[1:]):
+            if left.x + left.width > right.x + 1e-9:
+                bad.append((left.name, right.name))
+        return bad
+
+    # -- editing -------------------------------------------------------------
+
+    def add(self, cell: CellInstance, x: float) -> None:
+        """Place ``cell`` at ``x`` in this row (legality not enforced)."""
+        cell.place(x, self.y, self.index)
+        self.cells.append(cell)
+
+    def remove(self, cell: CellInstance) -> None:
+        """Remove ``cell`` from the row (its coordinates are left untouched)."""
+        self.cells.remove(cell)
+
+    def pack(self, origin: Optional[float] = None) -> None:
+        """Pack cells left-to-right from ``origin`` removing all gaps."""
+        self.sort()
+        cursor = self.x_start if origin is None else origin
+        for cell in self.cells:
+            cell.place(cursor, self.y, self.index)
+            cursor += cell.width
+
+    def spread(self, x0: Optional[float] = None, x1: Optional[float] = None) -> None:
+        """Distribute cells evenly (equal gaps) over ``[x0, x1]``.
+
+        Defaults to the full row span.  Cell order is preserved.  If the
+        cells do not fit, they are packed from ``x0`` instead.
+        """
+        self.sort()
+        lo = self.x_start if x0 is None else x0
+        hi = self.x_end if x1 is None else x1
+        total_width = sum(c.width for c in self.cells)
+        slack = (hi - lo) - total_width
+        if not self.cells:
+            return
+        if slack <= 0:
+            cursor = lo
+            for cell in self.cells:
+                cell.place(cursor, self.y, self.index)
+                cursor += cell.width
+            return
+        gap = slack / (len(self.cells) + 1)
+        cursor = lo + gap
+        for cell in self.cells:
+            cell.place(cursor, self.y, self.index)
+            cursor += cell.width + gap
+
+    def insert_at_best_gap(self, cell: CellInstance, target_x: float) -> bool:
+        """Insert ``cell`` in the free gap closest to ``target_x``.
+
+        Returns:
+            ``True`` on success, ``False`` if no gap is wide enough.
+        """
+        best: Optional[Tuple[float, float]] = None
+        best_cost = float("inf")
+        for gap_start, gap_end in self.gaps():
+            if gap_end - gap_start < cell.width - 1e-9:
+                continue
+            x = min(max(target_x, gap_start), gap_end - cell.width)
+            cost = abs(x - target_x)
+            if cost < best_cost:
+                best_cost = cost
+                best = (x, gap_start)
+        if best is None:
+            return False
+        self.add(cell, best[0])
+        self.sort()
+        return True
+
+    def cells_in_span(self, x0: float, x1: float) -> List[CellInstance]:
+        """Cells whose centre x lies in ``[x0, x1)``."""
+        return [c for c in self.cells if x0 <= c.x + c.width / 2.0 < x1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Row({self.index}, y={self.y:.1f}, cells={len(self.cells)})"
+
+
+class Placement:
+    """A placed design: netlist + floorplan + per-row cell lists.
+
+    Attributes:
+        netlist: The placed design.
+        floorplan: Core/row geometry.
+        regions: Optional mapping of unit name to the region it was placed
+            in; populated by the placer and used by the hotspot wrapper.
+    """
+
+    def __init__(self, netlist: Netlist, floorplan: Floorplan) -> None:
+        self.netlist = netlist
+        self.floorplan = floorplan
+        self.regions: Dict[str, Rect] = {}
+        self.rows: List[Row] = [
+            Row(i, floorplan.row_y(i), 0.0, floorplan.core_width)
+            for i in range(floorplan.num_rows)
+        ]
+
+    # ------------------------------------------------------------------
+    # Row/cell management
+    # ------------------------------------------------------------------
+
+    def row(self, index: int) -> Row:
+        """Return row ``index``."""
+        return self.rows[index]
+
+    def assign(self, cell: CellInstance, row_index: int, x: float) -> None:
+        """Place ``cell`` in row ``row_index`` at coordinate ``x``."""
+        self.rows[row_index].add(cell, x)
+
+    def remove(self, cell: CellInstance) -> None:
+        """Detach ``cell`` from whatever row holds it."""
+        if cell.row is not None and 0 <= cell.row < len(self.rows):
+            row = self.rows[cell.row]
+            if cell in row.cells:
+                row.remove(cell)
+
+    def rebuild_rows(self) -> None:
+        """Rebuild the per-row cell lists from the cells' coordinates."""
+        for row in self.rows:
+            row.cells.clear()
+        for cell in self.netlist.cells.values():
+            if not cell.is_placed:
+                continue
+            index = self.floorplan.row_of_y(cell.y + 1e-9)
+            cell.row = index
+            cell.y = self.rows[index].y
+            self.rows[index].cells.append(cell)
+        for row in self.rows:
+            row.sort()
+
+    def placed_cells(self, include_fillers: bool = True) -> List[CellInstance]:
+        """All placed cells, optionally excluding fillers."""
+        return [
+            c
+            for c in self.netlist.cells.values()
+            if c.is_placed and (include_fillers or not c.is_filler)
+        ]
+
+    def cells_in_rect(self, rect: Rect, include_fillers: bool = False) -> List[CellInstance]:
+        """Cells whose centre lies inside ``rect``."""
+        found: List[CellInstance] = []
+        for cell in self.placed_cells(include_fillers=include_fillers):
+            cx, cy = cell.center
+            if rect.contains(cx, cy):
+                found.append(cell)
+        return found
+
+    def rows_in_span(self, y0: float, y1: float) -> List[Row]:
+        """Rows whose vertical span intersects ``[y0, y1)``."""
+        return [
+            row
+            for row in self.rows
+            if row.y + self.floorplan.row_height > y0 and row.y < y1
+        ]
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Core utilization factor (logic cell area / core area)."""
+        return self.floorplan.utilization(self.netlist)
+
+    def total_hpwl(self) -> float:
+        """Total half-perimeter wirelength over all nets, in micrometres."""
+        return sum(net.hpwl() for net in self.netlist.nets.values())
+
+    def core_area(self) -> float:
+        """Core area in square micrometres."""
+        return self.floorplan.core_area
+
+    def row_utilizations(self) -> List[float]:
+        """Utilization of each row, bottom to top."""
+        return [row.utilization() for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # Legality
+    # ------------------------------------------------------------------
+
+    def check_legal(self, tolerance: float = 1e-6) -> List[str]:
+        """Check placement legality.
+
+        Verifies that every non-filler cell is placed, lies inside the core,
+        sits exactly on its row's y coordinate, and that no two cells in a
+        row overlap.
+
+        Returns:
+            A list of human-readable violations (empty when legal).
+        """
+        problems: List[str] = []
+        for cell in self.netlist.cells.values():
+            if cell.is_filler and not cell.is_placed:
+                continue
+            if not cell.is_placed:
+                problems.append(f"cell {cell.name} is not placed")
+                continue
+            if cell.x < -tolerance or cell.x + cell.width > self.floorplan.core_width + tolerance:
+                problems.append(f"cell {cell.name} exceeds core width")
+            if cell.y < -tolerance or cell.y + cell.height > self.floorplan.core_height + tolerance:
+                problems.append(f"cell {cell.name} exceeds core height")
+            if cell.row is None:
+                problems.append(f"cell {cell.name} has no row assignment")
+            elif abs(cell.y - self.floorplan.row_y(cell.row)) > tolerance:
+                problems.append(f"cell {cell.name} not aligned to row {cell.row}")
+        for row in self.rows:
+            for left, right in row.overlaps():
+                problems.append(f"cells {left} and {right} overlap in row {row.index}")
+        return problems
+
+    # ------------------------------------------------------------------
+    # Whitespace / relocation helpers used by the core techniques
+    # ------------------------------------------------------------------
+
+    def evict_from_rect(
+        self, rect: Rect, keep_units: Sequence[str] = (), include_fillers: bool = False
+    ) -> List[CellInstance]:
+        """Remove from their rows all cells inside ``rect`` not in ``keep_units``.
+
+        The cells' coordinates are cleared of row membership but preserved as
+        a relocation hint; the caller is responsible for re-inserting them
+        (see :meth:`relocate_outside`).
+
+        Returns:
+            The evicted cells.
+        """
+        keep = set(keep_units)
+        evicted: List[CellInstance] = []
+        for cell in self.cells_in_rect(rect, include_fillers=include_fillers):
+            if cell.unit in keep:
+                continue
+            self.remove(cell)
+            evicted.append(cell)
+        return evicted
+
+    def relocate_outside(self, cells: Sequence[CellInstance], rect: Rect) -> List[CellInstance]:
+        """Re-insert evicted cells into the nearest legal free space outside ``rect``.
+
+        Cells are inserted into row gaps, preferring rows close to their
+        original y and positions close to their original x, while keeping
+        their centres outside ``rect``.
+
+        Returns:
+            Cells that could not be relocated (no free space found).
+        """
+        failed: List[CellInstance] = []
+        row_height = self.floorplan.row_height
+        for cell in sorted(cells, key=lambda c: -c.width):
+            origin_x = cell.x if cell.x is not None else 0.0
+            origin_y = cell.y if cell.y is not None else 0.0
+            origin_row = self.floorplan.row_of_y(origin_y)
+            placed = False
+            # Search rows by increasing distance from the original row.
+            for offset in range(0, len(self.rows)):
+                for row_index in {origin_row - offset, origin_row + offset}:
+                    if row_index < 0 or row_index >= len(self.rows):
+                        continue
+                    row = self.rows[row_index]
+                    row_mid_y = row.y + row_height / 2.0
+                    if placed:
+                        break
+                    for gap_start, gap_end in row.gaps():
+                        usable = self._gap_outside_rect(
+                            gap_start, gap_end, rect, row_mid_y, cell.width
+                        )
+                        if usable is None:
+                            continue
+                        x = min(max(origin_x, usable[0]), usable[1] - cell.width)
+                        row.add(cell, x)
+                        row.sort()
+                        placed = True
+                        break
+                if placed:
+                    break
+            if not placed:
+                failed.append(cell)
+        return failed
+
+    def force_insert(self, cell: CellInstance, avoid_rect: Optional[Rect] = None) -> bool:
+        """Insert ``cell`` even when no single free gap is wide enough.
+
+        Whitespace in a spread-out placement is fragmented into many small
+        gaps; this helper picks the closest row with enough *total* free
+        width (preferring rows outside ``avoid_rect``), packs that row to
+        consolidate its whitespace, and appends the cell at the packed end.
+        Used as a last resort by the hotspot wrapper so evicted cells never
+        end up overlapping.
+
+        Returns:
+            ``True`` if the cell was inserted, ``False`` if no row has
+            enough free width.
+        """
+        origin_row = self.floorplan.row_of_y((cell.y or 0.0) + 1e-9)
+        row_height = self.floorplan.row_height
+
+        def row_priority(row: Row) -> Tuple[int, int]:
+            mid_y = row.y + row_height / 2.0
+            inside_avoid = (
+                1
+                if avoid_rect is not None
+                and avoid_rect.y0 <= mid_y < avoid_rect.y1
+                and avoid_rect.area > 0
+                else 0
+            )
+            return (inside_avoid, abs(row.index - origin_row))
+
+        for row in sorted(self.rows, key=row_priority):
+            if row.free_width >= cell.width - 1e-9:
+                row.pack()
+                cursor = row.x_start + row.occupied_width
+                row.add(cell, cursor)
+                row.sort()
+                return True
+        return False
+
+    @staticmethod
+    def _gap_outside_rect(
+        gap_start: float, gap_end: float, rect: Rect, row_mid_y: float, width: float
+    ) -> Optional[Tuple[float, float]]:
+        """Largest sub-interval of a row gap whose centre stays outside ``rect``.
+
+        Returns ``None`` if no sub-interval of at least ``width`` exists.
+        """
+        if not (rect.y0 <= row_mid_y < rect.y1):
+            # The row does not intersect the rectangle vertically.
+            if gap_end - gap_start >= width:
+                return (gap_start, gap_end)
+            return None
+        # Row crosses the rectangle: usable sub-gaps are left and right of it.
+        candidates = []
+        left = (gap_start, min(gap_end, rect.x0))
+        right = (max(gap_start, rect.x1), gap_end)
+        for lo, hi in (left, right):
+            if hi - lo >= width:
+                candidates.append((lo, hi))
+        if not candidates:
+            return None
+        return max(candidates, key=lambda interval: interval[1] - interval[0])
+
+    def copy(self) -> "Placement":
+        """Deep-copy the placement (cloned netlist, same floorplan geometry).
+
+        Post-placement transformations work on the copy so the baseline
+        placement stays available for before/after comparisons.
+        """
+        cloned_netlist = self.netlist.copy()
+        duplicate = Placement(cloned_netlist, self.floorplan)
+        duplicate.regions = dict(self.regions)
+        duplicate.rebuild_rows()
+        return duplicate
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics for reports."""
+        return {
+            "core_width_um": self.floorplan.core_width,
+            "core_height_um": self.floorplan.core_height,
+            "core_area_um2": self.floorplan.core_area,
+            "die_area_um2": self.floorplan.die_area,
+            "num_rows": float(self.floorplan.num_rows),
+            "utilization": self.utilization(),
+            "total_hpwl_um": self.total_hpwl(),
+            "num_placed_cells": float(len(self.placed_cells())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Placement({self.netlist.name}, rows={len(self.rows)}, "
+            f"util={self.utilization():.3f})"
+        )

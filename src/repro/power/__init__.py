@@ -1,0 +1,27 @@
+"""Power substrate: vectors, logic simulation, activity, power model, maps."""
+
+from .vectors import VectorSet, generate_vectors
+from .logicsim import LogicSimulator, SimulationResult
+from .activity import SwitchingActivity, estimate_activity
+from .power_model import (
+    DEFAULT_FREQUENCY_HZ,
+    CellPower,
+    PowerModel,
+    PowerReport,
+)
+from .power_map import PowerMap, build_power_map
+
+__all__ = [
+    "VectorSet",
+    "generate_vectors",
+    "LogicSimulator",
+    "SimulationResult",
+    "SwitchingActivity",
+    "estimate_activity",
+    "DEFAULT_FREQUENCY_HZ",
+    "CellPower",
+    "PowerModel",
+    "PowerReport",
+    "PowerMap",
+    "build_power_map",
+]

@@ -1,0 +1,239 @@
+"""Cell-by-cell power estimation.
+
+Substitutes for the Synopsys Power Compiler step of the paper's flow: given
+a netlist annotated with switching activity, compute each cell's average
+power.  The model is the standard cell-level decomposition used by
+commercial tools:
+
+* **switching (net) power** — ``0.5 * Vdd^2 * f * C_load * toggles`` for
+  every net the cell drives, where the load is the fanout pin capacitance
+  plus a fanout-based wire-load estimate (power is estimated *before* the
+  post-placement transformations and, as in the paper, is kept unchanged by
+  them);
+* **internal power** — a per-transition internal energy from the library;
+* **leakage power** — the library leakage, optionally scaled exponentially
+  with temperature to model the leakage/temperature feedback loop.
+
+The result is a :class:`PowerReport` mapping every cell instance to a
+:class:`CellPower` breakdown; filler cells always have exactly zero power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..netlist import CellInstance, Netlist, VDD, WIRE_CAP_PER_UM
+from .activity import SwitchingActivity
+
+#: Default clock frequency in hertz (the paper clocks the benchmark at 1 GHz).
+DEFAULT_FREQUENCY_HZ = 1.0e9
+
+#: Wire-load model: estimated wire length per fanout pin, in micrometres.
+WIRELOAD_UM_PER_FANOUT = 4.0
+
+#: Leakage doubles roughly every this many degrees Celsius.
+LEAKAGE_DOUBLING_CELSIUS = 25.0
+
+
+@dataclass(frozen=True)
+class CellPower:
+    """Power breakdown of a single cell instance, in watts."""
+
+    switching: float
+    internal: float
+    leakage: float
+
+    @property
+    def dynamic(self) -> float:
+        """Switching plus internal power."""
+        return self.switching + self.internal
+
+    @property
+    def total(self) -> float:
+        """Total cell power."""
+        return self.switching + self.internal + self.leakage
+
+
+class PowerReport:
+    """Per-cell power for a design.
+
+    Attributes:
+        cell_powers: Mapping cell instance name -> :class:`CellPower`.
+        frequency_hz: Clock frequency used.
+        temperature: Temperature (Celsius) the leakage was evaluated at.
+    """
+
+    def __init__(
+        self,
+        cell_powers: Dict[str, CellPower],
+        frequency_hz: float,
+        temperature: float,
+    ) -> None:
+        self.cell_powers = cell_powers
+        self.frequency_hz = frequency_hz
+        self.temperature = temperature
+
+    def power_of(self, cell_name: str) -> float:
+        """Total power of ``cell_name`` in watts (0.0 if not reported)."""
+        breakdown = self.cell_powers.get(cell_name)
+        return breakdown.total if breakdown is not None else 0.0
+
+    def total(self) -> float:
+        """Total design power in watts."""
+        return sum(p.total for p in self.cell_powers.values())
+
+    def total_dynamic(self) -> float:
+        """Total dynamic (switching + internal) power in watts."""
+        return sum(p.dynamic for p in self.cell_powers.values())
+
+    def total_leakage(self) -> float:
+        """Total leakage power in watts."""
+        return sum(p.leakage for p in self.cell_powers.values())
+
+    def unit_totals(self, netlist: Netlist) -> Dict[str, float]:
+        """Total power per logical unit, in watts."""
+        totals: Dict[str, float] = {}
+        for cell in netlist.cells.values():
+            breakdown = self.cell_powers.get(cell.name)
+            if breakdown is None:
+                continue
+            totals[cell.unit] = totals.get(cell.unit, 0.0) + breakdown.total
+        return totals
+
+
+class PowerModel:
+    """Average-power model evaluated from switching activity.
+
+    Args:
+        frequency_hz: Clock frequency.
+        vdd: Supply voltage in volts.
+        wireload_um_per_fanout: Wire-load model coefficient; estimated net
+            wire length is this value times the number of fanout pins.
+        temperature: Junction temperature in Celsius used for leakage.
+        leakage_temperature_scaling: When ``True``, leakage grows
+            exponentially with temperature (doubling every
+            ``LEAKAGE_DOUBLING_CELSIUS`` degrees above 25 C).
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+        vdd: float = VDD,
+        wireload_um_per_fanout: float = WIRELOAD_UM_PER_FANOUT,
+        temperature: float = 25.0,
+        leakage_temperature_scaling: bool = True,
+    ) -> None:
+        if frequency_hz <= 0.0:
+            raise ValueError(f"frequency must be positive, got {frequency_hz}")
+        self.frequency_hz = frequency_hz
+        self.vdd = vdd
+        self.wireload_um_per_fanout = wireload_um_per_fanout
+        self.temperature = temperature
+        self.leakage_temperature_scaling = leakage_temperature_scaling
+
+    # ------------------------------------------------------------------
+
+    def net_load_ff(self, netlist: Netlist, net_name: str) -> float:
+        """Estimated load capacitance on a net, in femtofarads.
+
+        The load is the sum of the fanout pins' input capacitance plus a
+        fanout-proportional wire-load estimate.
+        """
+        net = netlist.nets.get(net_name)
+        if net is None:
+            return 0.0
+        pin_cap = sum(pin.cell.master.input_cap_ff for pin in net.sink_pins)
+        fanout = max(net.num_sinks, 1)
+        wire_cap = WIRE_CAP_PER_UM * self.wireload_um_per_fanout * fanout
+        return pin_cap + wire_cap
+
+    def leakage_scale(self, temperature: Optional[float] = None) -> float:
+        """Leakage multiplier at ``temperature`` relative to 25 C."""
+        if not self.leakage_temperature_scaling:
+            return 1.0
+        temp = self.temperature if temperature is None else temperature
+        return 2.0 ** ((temp - 25.0) / LEAKAGE_DOUBLING_CELSIUS)
+
+    def cell_power(
+        self,
+        netlist: Netlist,
+        cell: CellInstance,
+        activity: SwitchingActivity,
+        temperature: Optional[float] = None,
+    ) -> CellPower:
+        """Power breakdown of one cell instance."""
+        if cell.is_filler:
+            return CellPower(0.0, 0.0, 0.0)
+
+        switching = 0.0
+        internal = 0.0
+        for pin in cell.output_pins:
+            if pin.net is None:
+                continue
+            toggles = activity.toggle_rate(pin.net.name)
+            load_farad = self.net_load_ff(netlist, pin.net.name) * 1e-15
+            switching += 0.5 * self.vdd ** 2 * load_farad * toggles * self.frequency_hz
+            internal += cell.master.internal_energy_fj * 1e-15 * toggles * self.frequency_hz
+
+        # Sequential cells are clocked every cycle: add the clock-pin
+        # internal energy even when the data does not toggle.
+        if cell.is_sequential:
+            internal += cell.master.internal_energy_fj * 1e-15 * self.frequency_hz
+
+        leakage = cell.master.leakage_nw * 1e-9 * self.leakage_scale(temperature)
+        return CellPower(switching=switching, internal=internal, leakage=leakage)
+
+    def estimate(
+        self,
+        netlist: Netlist,
+        activity: SwitchingActivity,
+        temperature: Optional[float] = None,
+    ) -> PowerReport:
+        """Estimate power for every cell in the design.
+
+        Args:
+            netlist: Annotated design.
+            activity: Per-net switching activity.
+            temperature: Optional junction temperature (Celsius) for the
+                leakage term; defaults to the model's temperature.
+
+        Returns:
+            A :class:`PowerReport`.
+        """
+        temp = self.temperature if temperature is None else temperature
+        cell_powers = {
+            cell.name: self.cell_power(netlist, cell, activity, temperature=temp)
+            for cell in netlist.cells.values()
+        }
+        return PowerReport(cell_powers, self.frequency_hz, temp)
+
+    def estimate_with_temperature_map(
+        self,
+        netlist: Netlist,
+        activity: SwitchingActivity,
+        cell_temperatures: Mapping[str, float],
+    ) -> PowerReport:
+        """Estimate power with a per-cell temperature for leakage.
+
+        Used by the optional leakage/temperature feedback iteration: the
+        thermal solve provides per-cell temperatures, which raise leakage,
+        which feeds back into the next thermal solve.
+
+        Args:
+            netlist: Annotated design.
+            activity: Per-net switching activity.
+            cell_temperatures: Mapping cell name -> temperature in Celsius.
+
+        Returns:
+            A :class:`PowerReport` (its ``temperature`` is the mean).
+        """
+        cell_powers: Dict[str, CellPower] = {}
+        temps = []
+        for cell in netlist.cells.values():
+            temp = cell_temperatures.get(cell.name, self.temperature)
+            temps.append(temp)
+            cell_powers[cell.name] = self.cell_power(netlist, cell, activity, temperature=temp)
+        mean_temp = sum(temps) / len(temps) if temps else self.temperature
+        return PowerReport(cell_powers, self.frequency_hz, mean_temp)

@@ -1,0 +1,45 @@
+"""Thermal substrate: package stack, mesh, RC network, solver, SPICE I/O."""
+
+from .package import (
+    Layer,
+    Package,
+    default_package,
+    high_performance_package,
+    low_cost_package,
+)
+from .grid import ThermalGrid
+from .network import NetworkElements, ThermalNetwork
+from .thermal_map import ThermalMap, map_from_solution
+from .solver import (
+    ThermalSolver,
+    grid_for_placement,
+    simulate_placement,
+    simulate_with_leakage_feedback,
+)
+from .spice import (
+    SpiceCircuit,
+    parse_spice_netlist,
+    solve_spice_netlist,
+    write_spice_netlist,
+)
+
+__all__ = [
+    "Layer",
+    "Package",
+    "default_package",
+    "high_performance_package",
+    "low_cost_package",
+    "ThermalGrid",
+    "NetworkElements",
+    "ThermalNetwork",
+    "ThermalMap",
+    "map_from_solution",
+    "ThermalSolver",
+    "grid_for_placement",
+    "simulate_placement",
+    "simulate_with_leakage_feedback",
+    "SpiceCircuit",
+    "parse_spice_netlist",
+    "solve_spice_netlist",
+    "write_spice_netlist",
+]

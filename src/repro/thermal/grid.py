@@ -1,0 +1,113 @@
+"""Three-dimensional thermal grid (mesh of thermal cells).
+
+The die footprint is discretized into ``nx`` x ``ny`` thermal cells per
+layer and ``nz`` layers in the z direction (the paper uses 40 x 40 x 9).
+Each grid node represents the temperature at the centre of one thermal cell
+(Figure 1 of the paper); this module only handles geometry and indexing,
+the electrical analogy lives in :mod:`repro.thermal.network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from .package import Package
+
+
+@dataclass
+class ThermalGrid:
+    """Geometry and node indexing of the thermal mesh.
+
+    Attributes:
+        width_um: Die width (x extent) in micrometres.
+        height_um: Die height (y extent) in micrometres.
+        nx: Number of cells in x (the paper uses 40).
+        ny: Number of cells in y (the paper uses 40).
+        package: The layer stack; supplies the z discretization.
+    """
+
+    width_um: float
+    height_um: float
+    nx: int
+    ny: int
+    package: Package
+
+    def __post_init__(self) -> None:
+        if self.width_um <= 0 or self.height_um <= 0:
+            raise ValueError("grid extents must be positive")
+        if self.nx < 2 or self.ny < 2:
+            raise ValueError("grid must have at least 2 cells per lateral direction")
+
+    # -- derived geometry ----------------------------------------------------
+
+    @property
+    def nz(self) -> int:
+        """Number of layers in z."""
+        return self.package.num_layers
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of grid nodes."""
+        return self.nx * self.ny * self.nz
+
+    @property
+    def dx_m(self) -> float:
+        """Cell pitch in x, metres."""
+        return self.width_um * 1e-6 / self.nx
+
+    @property
+    def dy_m(self) -> float:
+        """Cell pitch in y, metres."""
+        return self.height_um * 1e-6 / self.ny
+
+    def dz_m(self, layer: int) -> float:
+        """Thickness of ``layer`` in metres."""
+        return self.package.layers[layer].thickness_m
+
+    def conductivity(self, layer: int) -> float:
+        """Thermal conductivity of ``layer`` in W/(m*K)."""
+        return self.package.layers[layer].conductivity
+
+    @property
+    def cell_area_m2(self) -> float:
+        """Top-view area of one thermal cell in square metres."""
+        return self.dx_m * self.dy_m
+
+    # -- node indexing -------------------------------------------------------
+
+    def node_index(self, layer: int, iy: int, ix: int) -> int:
+        """Flat node index of cell ``(layer, iy, ix)``.
+
+        Raises:
+            IndexError: If any coordinate is out of range.
+        """
+        if not (0 <= layer < self.nz and 0 <= iy < self.ny and 0 <= ix < self.nx):
+            raise IndexError(f"node ({layer}, {iy}, {ix}) out of range")
+        return (layer * self.ny + iy) * self.nx + ix
+
+    def node_coords(self, index: int) -> Tuple[int, int, int]:
+        """Inverse of :meth:`node_index`: returns ``(layer, iy, ix)``."""
+        if not 0 <= index < self.num_nodes:
+            raise IndexError(f"node index {index} out of range")
+        layer, rest = divmod(index, self.nx * self.ny)
+        iy, ix = divmod(rest, self.nx)
+        return layer, iy, ix
+
+    def iter_layer_nodes(self, layer: int) -> Iterator[int]:
+        """Iterate flat node indices of one layer, row-major."""
+        base = layer * self.nx * self.ny
+        return iter(range(base, base + self.nx * self.ny))
+
+    def active_layer_offset(self) -> int:
+        """Flat index of the first node of the active (power) layer."""
+        return self.package.active_layer * self.nx * self.ny
+
+    @classmethod
+    def for_die(
+        cls, die_width_um: float, die_height_um: float, package: Package,
+        nx: int = 40, ny: int = 40,
+    ) -> "ThermalGrid":
+        """Build the standard 40x40 grid over a die outline."""
+        return cls(width_um=die_width_um, height_um=die_height_um, nx=nx, ny=ny,
+                   package=package)

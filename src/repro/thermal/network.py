@@ -1,0 +1,277 @@
+"""Equivalent RC (steady-state: resistive) thermal network.
+
+The paper's thermal model [10] transforms Fourier's heat-conduction
+equation into a difference equation over the thermal-cell mesh and solves
+the equivalent electrical network with SPICE.  At steady state the
+capacitors drop out and "the SPICE netlist becomes a netlist of resistors,
+current sources and voltage sources": temperatures are node voltages,
+power dissipation is a current source into the active-layer node, and the
+ambient is a voltage source behind the package resistances.
+
+This module assembles exactly that network as a sparse conductance matrix:
+
+* lateral conductances between neighbouring cells of the same layer,
+* vertical conductances between vertically adjacent cells (series
+  combination of the two half-cell resistances),
+* boundary conductances from the top surface and (optionally) the lateral
+  faces to ambient,
+* a per-area conductance from every bottom-layer cell into a single
+  *package node*, which is tied to ambient through the lumped package
+  resistance.
+
+Temperatures are solved as rises above ambient, so the ambient voltage
+source is folded into the reference (ground) node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .grid import ThermalGrid
+
+
+@dataclass
+class NetworkElements:
+    """Raw element lists of the thermal network (for SPICE export).
+
+    Attributes:
+        conductances: List of ``(node_a, node_b, conductance)`` tuples where
+            ``-1`` denotes the ambient (ground) node.
+        num_nodes: Number of non-ambient nodes (grid nodes plus the package
+            node when present).
+        package_node: Index of the package node, or ``None``.
+    """
+
+    conductances: List[Tuple[int, int, float]]
+    num_nodes: int
+    package_node: Optional[int]
+
+
+class ThermalNetwork:
+    """Sparse steady-state thermal network over a :class:`ThermalGrid`.
+
+    Args:
+        grid: The thermal mesh (geometry + layer stack).
+
+    Attributes:
+        grid: The mesh.
+        num_unknowns: Size of the linear system (grid nodes + package node).
+        package_node: Flat index of the package node, or ``None`` when the
+            lumped package resistance is zero (direct convection only).
+    """
+
+    def __init__(self, grid: ThermalGrid) -> None:
+        self.grid = grid
+        package = grid.package
+        self._has_package_node = package.package_resistance > 0.0
+        self.num_unknowns = grid.num_nodes + (1 if self._has_package_node else 0)
+        self.package_node: Optional[int] = (
+            grid.num_nodes if self._has_package_node else None
+        )
+        #: Coupling conductance vector from grid nodes to the package node
+        #: (zero everywhere except the bottom layer); empty when there is no
+        #: package node.
+        self.package_coupling: np.ndarray = np.zeros(0)
+        #: Diagonal entry of the package node (sum of couplings plus the
+        #: package-to-ambient conductance).
+        self.package_diagonal: float = 0.0
+        self._grid_matrix = self._assemble()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def grid_matrix(self) -> sp.csr_matrix:
+        """Conductance matrix over the grid nodes only (7-point stencil).
+
+        The coupling of the bottom layer to the lumped package node appears
+        on this matrix's diagonal; the package node itself is kept out of
+        the matrix (see :attr:`package_coupling` / :attr:`package_diagonal`)
+        so sparse factorizations never see its dense row — the solver
+        eliminates it with a rank-1 (Sherman-Morrison) correction.
+        """
+        return self._grid_matrix
+
+    @property
+    def conductance_matrix(self) -> sp.csr_matrix:
+        """The full symmetric conductance matrix including the package node.
+
+        Assembled on demand (it contains one dense row/column); prefer
+        :attr:`grid_matrix` plus the package coupling for solving.
+        """
+        if not self._has_package_node:
+            return self._grid_matrix
+        n_grid = self.grid.num_nodes
+        coupling = sp.coo_matrix(
+            (
+                self.package_coupling,
+                (np.arange(n_grid), np.full(n_grid, 0)),
+            ),
+            shape=(n_grid, 1),
+        ).tocsr()
+        top = sp.hstack([self._grid_matrix, -coupling])
+        bottom = sp.hstack(
+            [-coupling.T, sp.coo_matrix(([self.package_diagonal], ([0], [0])), shape=(1, 1))]
+        )
+        return sp.vstack([top, bottom]).tocsr()
+
+    def _assemble(self) -> sp.csr_matrix:
+        grid = self.grid
+        package = grid.package
+        nx, ny, nz = grid.nx, grid.ny, grid.nz
+        n_grid = grid.num_nodes
+        n = n_grid
+
+        diag = np.zeros(n)
+        rows: List[np.ndarray] = []
+        cols: List[np.ndarray] = []
+        vals: List[np.ndarray] = []
+
+        def add_pairs(a: np.ndarray, b: np.ndarray, g: np.ndarray) -> None:
+            """Add symmetric conductances between node arrays ``a`` and ``b``."""
+            np.add.at(diag, a, g)
+            np.add.at(diag, b, g)
+            rows.append(a)
+            cols.append(b)
+            vals.append(-g)
+            rows.append(b)
+            cols.append(a)
+            vals.append(-g)
+
+        def add_to_ground(a: np.ndarray, g: np.ndarray) -> None:
+            """Add conductances from node array ``a`` to the ambient node."""
+            np.add.at(diag, a, g)
+
+        dx, dy = grid.dx_m, grid.dy_m
+        area = grid.cell_area_m2
+
+        ix = np.arange(nx)
+        iy = np.arange(ny)
+        ixg, iyg = np.meshgrid(ix, iy)  # shape (ny, nx)
+
+        for layer in range(nz):
+            k = grid.conductivity(layer)
+            dz = grid.dz_m(layer)
+            base = layer * nx * ny
+            node = base + iyg * nx + ixg  # (ny, nx)
+
+            # Lateral x neighbours.
+            g_x = k * (dy * dz) / dx
+            a = node[:, :-1].ravel()
+            b = node[:, 1:].ravel()
+            add_pairs(a, b, np.full(a.shape, g_x))
+
+            # Lateral y neighbours.
+            g_y = k * (dx * dz) / dy
+            a = node[:-1, :].ravel()
+            b = node[1:, :].ravel()
+            add_pairs(a, b, np.full(a.shape, g_y))
+
+            # Vertical neighbours to the layer below.
+            if layer + 1 < nz:
+                k_below = grid.conductivity(layer + 1)
+                dz_below = grid.dz_m(layer + 1)
+                resistance = dz / (2.0 * k * area) + dz_below / (2.0 * k_below * area)
+                g_v = 1.0 / resistance
+                a = node.ravel()
+                b = (node + nx * ny).ravel()
+                add_pairs(a, b, np.full(a.shape, g_v))
+
+            # Lateral boundary faces to ambient.
+            if package.lateral_htc > 0.0:
+                g_lx = package.lateral_htc * dy * dz
+                g_ly = package.lateral_htc * dx * dz
+                add_to_ground(node[:, 0].ravel(), np.full(ny, g_lx))
+                add_to_ground(node[:, -1].ravel(), np.full(ny, g_lx))
+                add_to_ground(node[0, :].ravel(), np.full(nx, g_ly))
+                add_to_ground(node[-1, :].ravel(), np.full(nx, g_ly))
+
+        # Top surface convection (layer 0) straight to ambient.
+        if package.top_htc > 0.0:
+            top_nodes = np.arange(nx * ny)
+            half_res = grid.dz_m(0) / (2.0 * grid.conductivity(0) * area)
+            g_top = 1.0 / (half_res + 1.0 / (package.top_htc * area))
+            add_to_ground(top_nodes, np.full(top_nodes.shape, g_top))
+
+        # Bottom surface: per-cell conductance into the package node (or
+        # directly to ambient when there is no lumped package resistance).
+        bottom_layer = nz - 1
+        bottom_nodes = np.arange(nx * ny) + bottom_layer * nx * ny
+        half_res = grid.dz_m(bottom_layer) / (2.0 * grid.conductivity(bottom_layer) * area)
+        g_bottom = 1.0 / (half_res + 1.0 / (package.bottom_htc * area))
+        g_bottom_arr = np.full(bottom_nodes.shape, g_bottom)
+        if self._has_package_node:
+            # The coupling to the package node contributes to the bottom
+            # nodes' diagonal; the off-diagonal part is kept as a separate
+            # rank-1 coupling so the grid matrix stays a pure 7-point stencil.
+            add_to_ground(bottom_nodes, g_bottom_arr)
+            self.package_coupling = np.zeros(n_grid)
+            self.package_coupling[bottom_nodes] = g_bottom
+            self.package_diagonal = (
+                float(g_bottom_arr.sum()) + 1.0 / package.package_resistance
+            )
+        else:
+            add_to_ground(bottom_nodes, g_bottom_arr)
+
+        row_idx = np.concatenate(rows) if rows else np.array([], dtype=int)
+        col_idx = np.concatenate(cols) if cols else np.array([], dtype=int)
+        val = np.concatenate(vals) if vals else np.array([], dtype=float)
+
+        matrix = sp.coo_matrix((val, (row_idx, col_idx)), shape=(n, n)).tocsr()
+        matrix = matrix + sp.diags(diag)
+        return matrix
+
+    # ------------------------------------------------------------------
+
+    def power_vector(self, power_per_cell: np.ndarray) -> np.ndarray:
+        """Build the right-hand-side current vector from a 2-D power map.
+
+        Args:
+            power_per_cell: Array of shape ``(ny, nx)`` with the power in
+                watts dissipated in each thermal cell of the active layer.
+
+        Returns:
+            Vector of length ``num_unknowns`` with the injected power.
+
+        Raises:
+            ValueError: If the power map shape does not match the grid.
+        """
+        grid = self.grid
+        if power_per_cell.shape != (grid.ny, grid.nx):
+            raise ValueError(
+                f"power map shape {power_per_cell.shape} does not match grid "
+                f"({grid.ny}, {grid.nx})"
+            )
+        rhs = np.zeros(self.num_unknowns)
+        offset = grid.active_layer_offset()
+        rhs[offset: offset + grid.nx * grid.ny] = power_per_cell.ravel()
+        return rhs
+
+    def elements(self) -> NetworkElements:
+        """Enumerate the network's conductances for SPICE export.
+
+        Ambient is reported as node ``-1``.  Node-to-ground conductances are
+        recovered from the matrix diagonal minus the off-diagonal sums.
+        """
+        full = self.conductance_matrix
+        matrix = full.tocoo()
+        conductances: List[Tuple[int, int, float]] = []
+        offdiag_sum = np.zeros(self.num_unknowns)
+        for r, c, v in zip(matrix.row, matrix.col, matrix.data):
+            if r < c and abs(v) > 1e-18:
+                conductances.append((int(r), int(c), float(-v)))
+            if r != c:
+                offdiag_sum[r] += -v
+        diag = full.diagonal()
+        ground = diag - offdiag_sum
+        for node, g in enumerate(ground):
+            if g > 1e-18:
+                conductances.append((int(node), -1, float(g)))
+        return NetworkElements(
+            conductances=conductances,
+            num_nodes=self.num_unknowns,
+            package_node=self.package_node,
+        )

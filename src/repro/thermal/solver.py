@@ -1,0 +1,178 @@
+"""Steady-state solver for the thermal network.
+
+The paper solves the RC network with SPICE; at steady state this is a
+single sparse linear solve ``G * T = P``.  :class:`ThermalSolver` wraps the
+factorisation (so several power maps can be solved against the same die
+geometry, as happens during an area-overhead sweep) and
+:func:`simulate_placement` is the one-call convenience path from a placed
+design plus a power report to a :class:`~repro.thermal.thermal_map.ThermalMap`
+— the "Thermal Simulation" box of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from ..placement import Placement
+from ..power import PowerReport, build_power_map
+from ..power.power_map import PowerMap
+from .grid import ThermalGrid
+from .network import ThermalNetwork
+from .package import Package, default_package
+from .thermal_map import ThermalMap, map_from_solution
+
+
+class ThermalSolver:
+    """Factorised steady-state solver for one die geometry.
+
+    Args:
+        grid: Thermal mesh.
+        keep_full_field: Store the full 3-D temperature field on results.
+    """
+
+    def __init__(self, grid: ThermalGrid, keep_full_field: bool = False) -> None:
+        self.grid = grid
+        self.network = ThermalNetwork(grid)
+        self.keep_full_field = keep_full_field
+        # Factorise the grid-only matrix (pure 7-point stencil); the lumped
+        # package node would add a dense row, so it is eliminated via a
+        # Sherman-Morrison rank-1 correction in :meth:`solve`.
+        self._factorized = spla.splu(self.network.grid_matrix.tocsc())
+        self._package_solve: np.ndarray | None = None
+        if self.network.package_node is not None:
+            coupling = self.network.package_coupling
+            self._package_solve = self._factorized.solve(coupling)
+            self._package_denominator = float(
+                self.network.package_diagonal - coupling @ self._package_solve
+            )
+
+    def solve(self, power_per_cell: np.ndarray) -> ThermalMap:
+        """Solve for a power map of shape ``(ny, nx)`` watts per thermal cell.
+
+        Returns:
+            The resulting :class:`ThermalMap`.
+        """
+        rhs_full = self.network.power_vector(power_per_cell)
+        rhs = rhs_full[: self.grid.num_nodes]
+        base = self._factorized.solve(rhs)
+
+        if self._package_solve is None:
+            solution = base
+        else:
+            coupling = self.network.package_coupling
+            correction = (coupling @ base) / self._package_denominator
+            grid_temps = base + correction * self._package_solve
+            package_temp = (coupling @ grid_temps) / self.network.package_diagonal
+            solution = np.concatenate([grid_temps, [package_temp]])
+
+        return map_from_solution(
+            self.grid,
+            solution,
+            package_node=self.network.package_node,
+            keep_full_field=self.keep_full_field,
+        )
+
+    def solve_power_map(self, power_map: PowerMap) -> ThermalMap:
+        """Solve for a :class:`~repro.power.power_map.PowerMap`."""
+        return self.solve(power_map.power_w)
+
+
+def grid_for_placement(
+    placement: Placement,
+    package: Optional[Package] = None,
+    nx: int = 40,
+    ny: int = 40,
+) -> ThermalGrid:
+    """Build the thermal grid covering a placement's die outline."""
+    pkg = package if package is not None else default_package()
+    return ThermalGrid.for_die(
+        die_width_um=placement.floorplan.die_width,
+        die_height_um=placement.floorplan.die_height,
+        package=pkg,
+        nx=nx,
+        ny=ny,
+    )
+
+
+def simulate_placement(
+    placement: Placement,
+    power: PowerReport,
+    package: Optional[Package] = None,
+    nx: int = 40,
+    ny: int = 40,
+    keep_full_field: bool = False,
+) -> ThermalMap:
+    """Run the full thermal-simulation step on a placed, power-annotated design.
+
+    This is the "Thermal Simulation" box of the paper's flow (Figure 2):
+    the placed netlist provides cell positions, the power report provides
+    cell-by-cell power, both are binned onto the thermal grid and the
+    steady-state RC network is solved.
+
+    Args:
+        placement: The placed design.
+        power: Per-cell power report.
+        package: Thermal stack; defaults to :func:`default_package`.
+        nx: Grid cells in x.
+        ny: Grid cells in y.
+        keep_full_field: Keep the 3-D temperature field on the result.
+
+    Returns:
+        The active-layer :class:`ThermalMap`.
+    """
+    grid = grid_for_placement(placement, package=package, nx=nx, ny=ny)
+    power_map = build_power_map(placement, power, nx=nx, ny=ny, over_die=True)
+    solver = ThermalSolver(grid, keep_full_field=keep_full_field)
+    return solver.solve_power_map(power_map)
+
+
+def simulate_with_leakage_feedback(
+    placement: Placement,
+    activity,
+    power_model,
+    package: Optional[Package] = None,
+    nx: int = 40,
+    ny: int = 40,
+    iterations: int = 3,
+) -> ThermalMap:
+    """Thermal simulation with leakage/temperature feedback iterations.
+
+    The positive feedback between leakage power and temperature mentioned
+    in the paper's introduction: each iteration re-evaluates leakage at the
+    per-cell temperatures of the previous thermal solve.
+
+    Args:
+        placement: The placed design.
+        activity: Per-net :class:`~repro.power.activity.SwitchingActivity`.
+        power_model: A :class:`~repro.power.power_model.PowerModel`.
+        package: Thermal stack.
+        nx: Grid cells in x.
+        ny: Grid cells in y.
+        iterations: Number of power/thermal iterations (>= 1).
+
+    Returns:
+        The converged :class:`ThermalMap`.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be at least 1")
+    netlist = placement.netlist
+    power = power_model.estimate(netlist, activity)
+    thermal_map = simulate_placement(placement, power, package=package, nx=nx, ny=ny)
+    for _ in range(iterations - 1):
+        cell_temps = {}
+        grid = grid_for_placement(placement, package=package, nx=nx, ny=ny)
+        origin_x = -placement.floorplan.die_margin
+        origin_y = -placement.floorplan.die_margin
+        bin_w = grid.width_um / nx
+        bin_h = grid.height_um / ny
+        for cell in placement.placed_cells(include_fillers=False):
+            cx, cy = cell.center
+            ix = min(max(int((cx - origin_x) / bin_w), 0), nx - 1)
+            iy = min(max(int((cy - origin_y) / bin_h), 0), ny - 1)
+            cell_temps[cell.name] = float(thermal_map.temperatures[iy, ix])
+        power = power_model.estimate_with_temperature_map(netlist, activity, cell_temps)
+        thermal_map = simulate_placement(placement, power, package=package, nx=nx, ny=ny)
+    return thermal_map

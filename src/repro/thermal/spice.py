@@ -1,0 +1,210 @@
+"""SPICE-netlist export and a small internal SPICE-like DC solver.
+
+The paper's thermal model is solved "using SPICE to solve the equivalent RC
+electrical network".  We do not ship HSPICE, so this module provides both
+directions of that interface:
+
+* :func:`write_spice_netlist` exports the steady-state thermal network
+  (resistors, current sources, the ambient voltage source) as a SPICE deck
+  that an external simulator could run verbatim;
+* :func:`solve_spice_netlist` parses such a deck and solves its DC
+  operating point with modified nodal analysis (MNA), so the exported deck
+  can be verified against the internal sparse solve — this is the "wrap the
+  thermal simulator" substitution described in DESIGN.md.
+
+The supported SPICE subset is exactly what the thermal network needs:
+``R`` (resistor), ``I`` (DC current source), ``V`` (DC voltage source),
+comments (``*``) and ``.end``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .network import ThermalNetwork
+
+#: Name of the ambient (ground reference) node in exported decks.
+AMBIENT_NODE = "0"
+
+
+@dataclass
+class SpiceCircuit:
+    """A parsed SPICE deck (resistors, current sources, voltage sources).
+
+    Node names are kept as strings; ``"0"`` is ground.
+    """
+
+    resistors: List[Tuple[str, str, str, float]] = field(default_factory=list)
+    current_sources: List[Tuple[str, str, str, float]] = field(default_factory=list)
+    voltage_sources: List[Tuple[str, str, str, float]] = field(default_factory=list)
+    title: str = ""
+
+    def node_names(self) -> List[str]:
+        """All non-ground node names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for _, a, b, _value in self.resistors + self.current_sources + self.voltage_sources:
+            for node in (a, b):
+                if node != AMBIENT_NODE and node not in seen:
+                    seen[node] = None
+        return list(seen)
+
+
+def node_name(index: int) -> str:
+    """SPICE node name for a thermal-network node index (``-1`` is ambient)."""
+    return AMBIENT_NODE if index < 0 else f"n{index}"
+
+
+def write_spice_netlist(
+    network: ThermalNetwork,
+    power_per_cell: np.ndarray,
+    ambient: Optional[float] = None,
+    title: str = "thermal network (steady state)",
+) -> str:
+    """Export the thermal network plus a power map as a SPICE deck.
+
+    Temperatures appear as node voltages: the ambient is a DC voltage source
+    of value ``ambient`` behind the ground reference, every conductance
+    becomes a resistor and every active-layer thermal cell with non-zero
+    power becomes a DC current source injecting that power.
+
+    Args:
+        network: The assembled thermal network.
+        power_per_cell: Power map of shape ``(ny, nx)`` in watts.
+        ambient: Ambient temperature (defaults to the package's).
+        title: First line of the deck.
+
+    Returns:
+        The SPICE deck as a string.
+    """
+    grid = network.grid
+    ambient_value = grid.package.ambient_celsius if ambient is None else ambient
+    lines = [f"* {title}"]
+    lines.append(f"* grid {grid.nx}x{grid.ny}x{grid.nz}, ambient {ambient_value} C")
+
+    elements = network.elements()
+    # The ambient behaves as node "amb" held at the ambient temperature.
+    lines.append(f"Vamb amb {AMBIENT_NODE} DC {ambient_value:.6g}")
+
+    for idx, (a, b, g) in enumerate(elements.conductances):
+        node_a = node_name(a)
+        node_b = "amb" if b < 0 else node_name(b)
+        resistance = 1.0 / g
+        lines.append(f"R{idx} {node_a} {node_b} {resistance:.9g}")
+
+    rhs = network.power_vector(np.asarray(power_per_cell, dtype=float))
+    count = 0
+    for node, power in enumerate(rhs):
+        if power > 0.0:
+            # Current flows from ground into the node (heating it).
+            lines.append(f"I{count} {AMBIENT_NODE} {node_name(node)} DC {power:.9g}")
+            count += 1
+
+    lines.append(".end")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def parse_spice_netlist(text: str) -> SpiceCircuit:
+    """Parse the supported SPICE subset into a :class:`SpiceCircuit`.
+
+    Raises:
+        ValueError: On malformed element cards.
+    """
+    circuit = SpiceCircuit()
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("*"):
+            if line.startswith("*") and not circuit.title:
+                circuit.title = line[1:].strip()
+            continue
+        if line.lower().startswith(".end"):
+            break
+        tokens = line.split()
+        name = tokens[0]
+        kind = name[0].upper()
+        if kind == "R":
+            if len(tokens) < 4:
+                raise ValueError(f"malformed resistor card: {line!r}")
+            circuit.resistors.append((name, tokens[1], tokens[2], float(tokens[3])))
+        elif kind in ("I", "V"):
+            value_token = tokens[-1]
+            if len(tokens) < 4:
+                raise ValueError(f"malformed source card: {line!r}")
+            value = float(value_token)
+            entry = (name, tokens[1], tokens[2], value)
+            if kind == "I":
+                circuit.current_sources.append(entry)
+            else:
+                circuit.voltage_sources.append(entry)
+        else:
+            raise ValueError(f"unsupported SPICE element: {line!r}")
+    return circuit
+
+
+def solve_spice_netlist(text: str) -> Dict[str, float]:
+    """Solve the DC operating point of a parsed deck with MNA.
+
+    Returns:
+        Mapping node name -> node voltage (temperature).  Ground is not
+        included.
+
+    Raises:
+        ValueError: If the deck contains no elements.
+    """
+    circuit = parse_spice_netlist(text)
+    nodes = circuit.node_names()
+    if not nodes and not circuit.voltage_sources:
+        raise ValueError("empty SPICE deck")
+    index = {name: i for i, name in enumerate(nodes)}
+    num_nodes = len(nodes)
+    num_vsrc = len(circuit.voltage_sources)
+    size = num_nodes + num_vsrc
+
+    matrix = sp.lil_matrix((size, size))
+    rhs = np.zeros(size)
+
+    def stamp_conductance(a: str, b: str, g: float) -> None:
+        ia = index.get(a)
+        ib = index.get(b)
+        if ia is not None:
+            matrix[ia, ia] += g
+        if ib is not None:
+            matrix[ib, ib] += g
+        if ia is not None and ib is not None:
+            matrix[ia, ib] -= g
+            matrix[ib, ia] -= g
+
+    for _name, a, b, resistance in circuit.resistors:
+        if resistance <= 0.0:
+            raise ValueError(f"non-positive resistance on {_name}")
+        stamp_conductance(a, b, 1.0 / resistance)
+
+    for _name, a, b, current in circuit.current_sources:
+        # Convention: current flows from node a to node b through the source,
+        # i.e. it is injected into node b and drawn from node a.
+        ia = index.get(a)
+        ib = index.get(b)
+        if ia is not None:
+            rhs[ia] -= current
+        if ib is not None:
+            rhs[ib] += current
+
+    for k, (_name, a, b, voltage) in enumerate(circuit.voltage_sources):
+        row = num_nodes + k
+        ia = index.get(a)
+        ib = index.get(b)
+        if ia is not None:
+            matrix[ia, row] += 1.0
+            matrix[row, ia] += 1.0
+        if ib is not None:
+            matrix[ib, row] -= 1.0
+            matrix[row, ib] -= 1.0
+        rhs[row] = voltage
+
+    solution = spla.spsolve(matrix.tocsc(), rhs)
+    return {name: float(solution[i]) for name, i in index.items()}

@@ -1,0 +1,133 @@
+"""Thermal maps: solved temperature fields and their metrics.
+
+A :class:`ThermalMap` holds the temperature of every thermal cell of the
+active layer (the layer the standard cells live in), which is what the
+paper's thermal maps (Figure 5, right) show, plus the scalar metrics the
+evaluation uses: peak temperature, peak temperature rise above ambient and
+the on-die temperature gradient (max minus min).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .grid import ThermalGrid
+
+
+@dataclass
+class ThermalMap:
+    """Active-layer temperature field and associated metadata.
+
+    Attributes:
+        temperatures: Array of shape ``(ny, nx)`` with absolute
+            temperatures in Celsius of the active layer; row 0 is the
+            bottom (minimum y) of the die.
+        ambient: Ambient temperature in Celsius.
+        full_field: Optional full 3-D field of shape ``(nz, ny, nx)``.
+        package_temperature: Temperature of the lumped package node, if any.
+    """
+
+    temperatures: np.ndarray
+    ambient: float
+    full_field: Optional[np.ndarray] = None
+    package_temperature: Optional[float] = None
+
+    # -- scalar metrics -------------------------------------------------------
+
+    @property
+    def peak(self) -> float:
+        """Peak temperature in Celsius."""
+        return float(self.temperatures.max())
+
+    @property
+    def peak_rise(self) -> float:
+        """Peak temperature rise above ambient in Kelvin."""
+        return self.peak - self.ambient
+
+    @property
+    def minimum(self) -> float:
+        """Minimum active-layer temperature in Celsius."""
+        return float(self.temperatures.min())
+
+    @property
+    def gradient(self) -> float:
+        """On-die temperature gradient (max minus min) in Kelvin."""
+        return self.peak - self.minimum
+
+    @property
+    def mean_rise(self) -> float:
+        """Mean temperature rise above ambient in Kelvin."""
+        return float(self.temperatures.mean()) - self.ambient
+
+    def peak_location(self) -> Tuple[int, int]:
+        """Grid indices ``(iy, ix)`` of the hottest thermal cell."""
+        flat = int(np.argmax(self.temperatures))
+        iy, ix = np.unravel_index(flat, self.temperatures.shape)
+        return int(iy), int(ix)
+
+    def rise_map(self) -> np.ndarray:
+        """Temperature rise above ambient for every cell, in Kelvin."""
+        return self.temperatures - self.ambient
+
+    def reduction_versus(self, baseline: "ThermalMap") -> float:
+        """Peak-temperature reduction of this map relative to a baseline.
+
+        Defined, as in the paper's evaluation, on the peak temperature rise
+        above ambient: ``(rise_base - rise_this) / rise_base``.
+
+        Returns:
+            The fractional reduction (positive means this map is cooler).
+
+        Raises:
+            ValueError: If the baseline has a non-positive peak rise.
+        """
+        base_rise = baseline.peak_rise
+        if base_rise <= 0.0:
+            raise ValueError("baseline peak rise must be positive")
+        return (base_rise - self.peak_rise) / base_rise
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics for reports."""
+        return {
+            "peak_celsius": self.peak,
+            "peak_rise_kelvin": self.peak_rise,
+            "mean_rise_kelvin": self.mean_rise,
+            "gradient_kelvin": self.gradient,
+            "ambient_celsius": self.ambient,
+        }
+
+
+def map_from_solution(
+    grid: ThermalGrid,
+    solution: np.ndarray,
+    package_node: Optional[int],
+    keep_full_field: bool = False,
+) -> ThermalMap:
+    """Convert a flat temperature-rise solution vector into a :class:`ThermalMap`.
+
+    Args:
+        grid: The thermal mesh the solution refers to.
+        solution: Vector of temperature rises (Kelvin above ambient) of
+            length ``grid.num_nodes`` (+1 if a package node is present).
+        package_node: Index of the package node in ``solution`` or ``None``.
+        keep_full_field: Store the full 3-D field in the result.
+
+    Returns:
+        The active-layer :class:`ThermalMap` in absolute Celsius.
+    """
+    ambient = grid.package.ambient_celsius
+    rises = np.asarray(solution[: grid.num_nodes], dtype=float)
+    field = rises.reshape(grid.nz, grid.ny, grid.nx)
+    active = field[grid.package.active_layer]
+    package_temp = (
+        float(solution[package_node]) + ambient if package_node is not None else None
+    )
+    return ThermalMap(
+        temperatures=active + ambient,
+        ambient=ambient,
+        full_field=(field + ambient) if keep_full_field else None,
+        package_temperature=package_temp,
+    )

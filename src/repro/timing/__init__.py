@@ -1,0 +1,19 @@
+"""Timing substrate: delay models and static timing analysis."""
+
+from .delay import DelayModel
+from .sta import (
+    DEFAULT_CLOCK_PERIOD_PS,
+    StaticTimingAnalyzer,
+    TimingPath,
+    TimingReport,
+    analyze_timing,
+)
+
+__all__ = [
+    "DelayModel",
+    "DEFAULT_CLOCK_PERIOD_PS",
+    "StaticTimingAnalyzer",
+    "TimingPath",
+    "TimingReport",
+    "analyze_timing",
+]

@@ -1,0 +1,227 @@
+"""Static timing analysis.
+
+A block-based STA over the combinational timing graph: arrival times start
+at launch points (primary inputs and flip-flop outputs), propagate through
+the levelized combinational logic using the
+:class:`~repro.timing.delay.DelayModel`, and are checked at capture points
+(flip-flop data inputs and primary outputs) against the clock period.
+
+The analysis is used before and after the post-placement transformations to
+quantify the timing overhead (the paper reports a maximum of about 2%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist import CellInstance, Netlist
+from .delay import DelayModel
+
+#: Clock period corresponding to the paper's 1 GHz operating frequency.
+DEFAULT_CLOCK_PERIOD_PS = 1000.0
+
+
+@dataclass
+class TimingPath:
+    """One timing path endpoint report.
+
+    Attributes:
+        endpoint: Name of the capture point (``cell/D`` or a primary output).
+        arrival_ps: Data arrival time in picoseconds.
+        slack_ps: Clock period minus arrival time.
+        through_cells: Cell names along the critical path to this endpoint,
+            launch to capture.
+    """
+
+    endpoint: str
+    arrival_ps: float
+    slack_ps: float
+    through_cells: List[str] = field(default_factory=list)
+
+
+@dataclass
+class TimingReport:
+    """Design-level timing results.
+
+    Attributes:
+        critical_path_ps: Longest data arrival time (the critical path).
+        clock_period_ps: Clock period the design was checked against.
+        worst_slack_ps: Worst endpoint slack.
+        worst_path: The critical path endpoint report.
+        num_endpoints: Number of analysed capture points.
+    """
+
+    critical_path_ps: float
+    clock_period_ps: float
+    worst_slack_ps: float
+    worst_path: Optional[TimingPath]
+    num_endpoints: int
+
+    @property
+    def meets_timing(self) -> bool:
+        """``True`` if the worst slack is non-negative."""
+        return self.worst_slack_ps >= 0.0
+
+    def overhead_versus(self, baseline: "TimingReport") -> float:
+        """Fractional critical-path increase relative to ``baseline``."""
+        if baseline.critical_path_ps <= 0.0:
+            raise ValueError("baseline critical path must be positive")
+        return (self.critical_path_ps - baseline.critical_path_ps) / baseline.critical_path_ps
+
+
+class StaticTimingAnalyzer:
+    """Block-based STA engine.
+
+    Args:
+        netlist: The design to analyse (combinational logic must be acyclic).
+        delay_model: Delay calculator; a default one at nominal temperature
+            is created when omitted.
+        clock_period_ps: Clock period for slack computation.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        delay_model: Optional[DelayModel] = None,
+        clock_period_ps: float = DEFAULT_CLOCK_PERIOD_PS,
+    ) -> None:
+        self.netlist = netlist
+        self.delay_model = delay_model if delay_model is not None else DelayModel()
+        self.clock_period_ps = clock_period_ps
+        self._order = netlist.levelize()
+
+    # ------------------------------------------------------------------
+
+    def analyze(self, temperature: Optional[float] = None) -> TimingReport:
+        """Run the analysis and return a :class:`TimingReport`.
+
+        Args:
+            temperature: Optional uniform operating temperature in Celsius;
+                defaults to the delay model's temperature.
+        """
+        arrival, predecessor = self._propagate(temperature)
+        endpoints = self._collect_endpoints(arrival)
+
+        if not endpoints:
+            return TimingReport(
+                critical_path_ps=0.0,
+                clock_period_ps=self.clock_period_ps,
+                worst_slack_ps=self.clock_period_ps,
+                worst_path=None,
+                num_endpoints=0,
+            )
+
+        worst_endpoint, worst_arrival, worst_net = max(
+            endpoints, key=lambda item: item[1]
+        )
+        worst_path = TimingPath(
+            endpoint=worst_endpoint,
+            arrival_ps=worst_arrival,
+            slack_ps=self.clock_period_ps - worst_arrival,
+            through_cells=self._trace_path(worst_net, predecessor),
+        )
+        return TimingReport(
+            critical_path_ps=worst_arrival,
+            clock_period_ps=self.clock_period_ps,
+            worst_slack_ps=self.clock_period_ps - worst_arrival,
+            worst_path=worst_path,
+            num_endpoints=len(endpoints),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _propagate(
+        self, temperature: Optional[float]
+    ) -> Tuple[Dict[str, float], Dict[str, Optional[str]]]:
+        """Propagate arrival times; returns per-net arrival and predecessor."""
+        arrival: Dict[str, float] = {}
+        predecessor: Dict[str, Optional[str]] = {}
+        model = self.delay_model
+
+        # Launch points: primary-input nets and flip-flop output nets.
+        for port in self.netlist.primary_inputs:
+            if port.net is not None:
+                arrival[port.net.name] = 0.0
+                predecessor[port.net.name] = None
+        for ff in self.netlist.sequential_cells():
+            clk_to_q = ff.master.intrinsic_delay_ps * model.cell_derating(temperature)
+            for pin in ff.output_pins:
+                if pin.net is not None:
+                    wire = model.wire_delay_ps(pin.net, temperature)
+                    arrival[pin.net.name] = clk_to_q + wire
+                    predecessor[pin.net.name] = ff.name
+
+        for inst in self._order:
+            input_arrival = 0.0
+            for pin in inst.input_pins:
+                if pin.net is not None:
+                    input_arrival = max(input_arrival, arrival.get(pin.net.name, 0.0))
+            for pin in inst.output_pins:
+                net = pin.net
+                if net is None:
+                    continue
+                stage = model.stage_delay_ps(inst, net, temperature)
+                arrival[net.name] = input_arrival + stage
+                predecessor[net.name] = inst.name
+
+        return arrival, predecessor
+
+    def _collect_endpoints(self, arrival: Dict[str, float]) -> List[Tuple[str, float, Optional[str]]]:
+        """Gather capture points: FF D pins, primary outputs."""
+        endpoints: List[Tuple[str, float, Optional[str]]] = []
+        model = self.delay_model
+        for ff in self.netlist.sequential_cells():
+            for pin in ff.input_pins:
+                if pin.net is None:
+                    continue
+                setup = 0.3 * ff.master.intrinsic_delay_ps
+                endpoints.append(
+                    (pin.full_name, arrival.get(pin.net.name, 0.0) + setup, pin.net.name)
+                )
+        for port in self.netlist.primary_outputs:
+            if port.net is not None:
+                endpoints.append((port.name, arrival.get(port.net.name, 0.0), port.net.name))
+        return endpoints
+
+    def _trace_path(
+        self, net_name: Optional[str], predecessor: Dict[str, Optional[str]]
+    ) -> List[str]:
+        """Walk predecessors from an endpoint net back to its launch point."""
+        path: List[str] = []
+        current = net_name
+        visited = set()
+        while current is not None and current not in visited:
+            visited.add(current)
+            cell_name = predecessor.get(current)
+            if cell_name is None:
+                break
+            path.append(cell_name)
+            cell = self.netlist.cells.get(cell_name)
+            if cell is None or cell.is_sequential:
+                break
+            # Move to the slowest input net of this cell.
+            best_net = None
+            best_arrival = -1.0
+            for pin in cell.input_pins:
+                if pin.net is None:
+                    continue
+                # Arrival of predecessors is implied by path order; pick any
+                # driven input that has a predecessor entry.
+                if pin.net.name in predecessor:
+                    best_net = pin.net.name
+                    best_arrival = max(best_arrival, 0.0)
+            current = best_net
+        path.reverse()
+        return path
+
+
+def analyze_timing(
+    netlist: Netlist,
+    temperature: Optional[float] = None,
+    clock_period_ps: float = DEFAULT_CLOCK_PERIOD_PS,
+) -> TimingReport:
+    """Convenience wrapper: analyse ``netlist`` with the default delay model."""
+    model = DelayModel(temperature=temperature if temperature is not None else 25.0)
+    analyzer = StaticTimingAnalyzer(netlist, delay_model=model, clock_period_ps=clock_period_ps)
+    return analyzer.analyze(temperature)

@@ -1,0 +1,106 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (the scaled-down synthetic benchmark, its placement,
+activity and power) are built once per session; tests that mutate state
+always work on copies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import small_synthetic_circuit, scattered_hotspots_workload
+from repro.netlist import Netlist, default_library
+from repro.placement import place_design
+from repro.power import PowerModel, estimate_activity
+from repro.thermal import default_package, simulate_placement
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The default 65 nm-class cell library."""
+    return default_library()
+
+
+@pytest.fixture()
+def empty_netlist(library):
+    """A fresh, empty netlist."""
+    return Netlist("empty", library)
+
+
+@pytest.fixture()
+def tiny_netlist(library):
+    """A tiny hand-built design: two inverters driving a NAND into a DFF.
+
+    Structure::
+
+        in_a -> INV u1 -> n1 --\
+                                NAND u3 -> n3 -> DFF u4 -> q -> out_q
+        in_b -> INV u2 -> n2 --/
+    """
+    netlist = Netlist("tiny", library)
+    netlist.add_port("in_a", "input")
+    netlist.add_port("in_b", "input")
+    netlist.add_port("out_q", "output")
+
+    u1 = netlist.add_cell("u1", "INV_X1", unit="left")
+    u2 = netlist.add_cell("u2", "INV_X1", unit="left")
+    u3 = netlist.add_cell("u3", "NAND2_X1", unit="right")
+    u4 = netlist.add_cell("u4", "DFF_X1", unit="right")
+
+    netlist.connect_port("in_a", "in_a")
+    netlist.connect("in_a", u1.pin("A"))
+    netlist.connect_port("in_b", "in_b")
+    netlist.connect("in_b", u2.pin("A"))
+
+    netlist.connect("n1", u1.pin("Y"))
+    netlist.connect("n1", u3.pin("A"))
+    netlist.connect("n2", u2.pin("Y"))
+    netlist.connect("n2", u3.pin("B"))
+    netlist.connect("n3", u3.pin("Y"))
+    netlist.connect("n3", u4.pin("D"))
+    netlist.connect("q", u4.pin("Q"))
+    netlist.connect_port("q", "out_q")
+    return netlist
+
+
+@pytest.fixture(scope="session")
+def small_circuit():
+    """The scaled-down nine-unit synthetic benchmark (read-only)."""
+    return small_synthetic_circuit()
+
+
+@pytest.fixture(scope="session")
+def small_placement(small_circuit):
+    """A placement of the small benchmark at 0.85 utilization (read-only)."""
+    return place_design(small_circuit, utilization=0.85)
+
+
+@pytest.fixture(scope="session")
+def small_workload(small_circuit, small_placement):
+    """Scattered-hotspot workload for the small benchmark."""
+    return scattered_hotspots_workload(small_circuit, regions=small_placement.regions)
+
+
+@pytest.fixture(scope="session")
+def small_activity(small_circuit, small_workload):
+    """Switching activity of the small benchmark under the workload."""
+    return estimate_activity(
+        small_circuit,
+        small_workload.port_toggle_probabilities(small_circuit),
+        num_cycles=10,
+        batch_size=8,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_power(small_circuit, small_activity):
+    """Cell-by-cell power report of the small benchmark."""
+    return PowerModel().estimate(small_circuit, small_activity)
+
+
+@pytest.fixture(scope="session")
+def small_thermal(small_placement, small_power):
+    """Thermal map of the small benchmark's baseline placement."""
+    return simulate_placement(small_placement, small_power, package=default_package())

@@ -1,0 +1,114 @@
+"""Tests for metrics and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    area_overhead,
+    compare,
+    figure6_report,
+    format_table,
+    gradient_reduction,
+    percent,
+    table1_report,
+    temperature_reduction,
+    timing_overhead,
+    wirelength_overhead,
+)
+from repro.flow import StrategyOutcome
+from repro.thermal import ThermalMap
+from repro.timing import TimingReport
+
+
+def _map(peak, ambient=25.0):
+    temps = np.full((4, 4), ambient + 1.0)
+    temps[2, 2] = peak
+    return ThermalMap(temperatures=temps, ambient=ambient)
+
+
+class TestMetrics:
+    def test_temperature_reduction(self):
+        assert temperature_reduction(_map(45.0), _map(41.0)) == pytest.approx(0.2)
+
+    def test_gradient_reduction(self):
+        base = _map(45.0)
+        flat = ThermalMap(np.full((4, 4), 35.0), ambient=25.0)
+        assert gradient_reduction(base, flat) == pytest.approx(1.0)
+        assert gradient_reduction(flat, flat) == 0.0
+
+    def test_area_overhead(self, small_placement):
+        from repro.core import apply_default_spread
+
+        spread = apply_default_spread(small_placement, 0.2, use_quadratic=False,
+                                      detailed=False, add_fillers=False)
+        assert area_overhead(small_placement, spread.placement) == pytest.approx(
+            spread.actual_overhead
+        )
+
+    def test_timing_overhead(self):
+        base = TimingReport(500.0, 1000.0, 500.0, None, 3)
+        slower = TimingReport(510.0, 1000.0, 490.0, None, 3)
+        assert timing_overhead(base, slower) == pytest.approx(0.02)
+
+    def test_wirelength_overhead_zero_for_same_placement(self, small_placement):
+        assert wirelength_overhead(small_placement, small_placement) == pytest.approx(0.0)
+
+    def test_compare_bundles_everything(self, small_placement):
+        base_map = _map(45.0)
+        new_map = _map(43.0)
+        metrics = compare(small_placement, base_map, small_placement, new_map)
+        assert metrics.temperature_reduction == pytest.approx(0.1)
+        assert metrics.area_overhead == pytest.approx(0.0)
+        assert metrics.timing_overhead is None
+        flat = metrics.as_dict()
+        assert np.isnan(flat["timing_overhead"])
+        assert flat["peak_rise_baseline"] == pytest.approx(20.0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(line.startswith("|") for line in lines[1:])
+        assert len(set(len(line) for line in lines[1:])) == 1
+
+    def test_percent(self):
+        assert percent(0.161) == "16.1%"
+        assert percent(0.2035, digits=2) == "20.35%"
+
+    def _outcome(self, strategy, overhead, reduction, rows=0):
+        return StrategyOutcome(
+            strategy=strategy,
+            requested_overhead=overhead,
+            actual_overhead=overhead,
+            temperature_reduction=reduction,
+            peak_rise=15.0,
+            gradient=2.0,
+            timing_overhead=0.01,
+            inserted_rows=rows,
+            core_width=200.0,
+            core_height=210.0,
+            num_fillers=100,
+        )
+
+    def test_figure6_report_contains_all_strategies(self):
+        outcomes = [
+            self._outcome("default", 0.16, 0.11),
+            self._outcome("eri", 0.16, 0.12, rows=20),
+            self._outcome("hw", 0.16, 0.115),
+        ]
+        text = figure6_report(outcomes)
+        assert "default" in text and "eri" in text and "hw" in text
+        assert "16.0%" in text
+        assert "12.0%" in text
+
+    def test_table1_report_rows(self):
+        outcomes = [
+            self._outcome("default", 0.161, 0.113),
+            self._outcome("eri", 0.161, 0.131, rows=20),
+        ]
+        text = table1_report(outcomes)
+        assert "concentrated hotspot" in text.lower()
+        assert "200 x 210" in text
+        assert "20" in text

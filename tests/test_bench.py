@@ -1,0 +1,125 @@
+"""Tests for the synthetic benchmark and workload definitions."""
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_UNITS,
+    UnitSpec,
+    Workload,
+    build_synthetic_circuit,
+    concentrated_hotspot_workload,
+    custom_workload,
+    scattered_hotspots_workload,
+    small_synthetic_circuit,
+    uniform_workload,
+    unit_cell_counts,
+)
+
+
+class TestSyntheticCircuit:
+    def test_has_nine_units(self, small_circuit):
+        assert len(small_circuit.units()) == 9
+
+    def test_every_cell_tagged_with_unit(self, small_circuit):
+        for cell in small_circuit.logic_cells():
+            assert cell.unit in small_circuit.units()
+
+    def test_structurally_sound(self, small_circuit):
+        assert small_circuit.check() == []
+
+    def test_unit_cell_counts_sum(self, small_circuit):
+        counts = unit_cell_counts(small_circuit)
+        assert sum(counts.values()) == len(small_circuit.logic_cells())
+
+    def test_full_benchmark_is_about_12000_cells(self):
+        # The paper's benchmark "consists of about 12000 standard cells".
+        counts = unit_cell_counts(build_synthetic_circuit())
+        total = sum(counts.values())
+        assert 10000 <= total <= 14000
+        assert len(counts) == 9
+
+    def test_duplicate_unit_names_rejected(self):
+        units = (UnitSpec("dup", "rca", 4), UnitSpec("dup", "rca", 4))
+        with pytest.raises(ValueError, match="unique"):
+            build_synthetic_circuit(units=units)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown unit kind"):
+            build_synthetic_circuit(units=(UnitSpec("u", "bogus", 4),))
+
+    def test_default_units_have_various_sizes(self):
+        widths = {spec.width for spec in DEFAULT_UNITS}
+        assert len(widths) >= 4
+
+    def test_small_circuit_is_smaller(self, small_circuit):
+        assert small_circuit.num_cells < build_synthetic_circuit().num_cells
+
+
+class TestWorkloads:
+    def test_unit_probability_split(self):
+        workload = Workload("w", active_units=["a"], active_probability=0.5,
+                            idle_probability=0.01)
+        assert workload.unit_probability("a") == 0.5
+        assert workload.unit_probability("b") == 0.01
+
+    def test_overrides_take_precedence(self):
+        workload = Workload("w", active_units=["a"], unit_overrides={"a": 0.25})
+        assert workload.unit_probability("a") == 0.25
+
+    def test_port_probabilities_cover_all_inputs(self, small_circuit, small_workload):
+        probs = small_workload.port_toggle_probabilities(small_circuit)
+        assert set(probs) == {p.name for p in small_circuit.primary_inputs}
+        assert all(0.0 <= p <= 1.0 for p in probs.values())
+
+    def test_active_unit_ports_get_active_probability(self, small_circuit, small_workload):
+        probs = small_workload.port_toggle_probabilities(small_circuit)
+        active_unit = small_workload.active_units[0]
+        port = next(
+            p for p in probs if p.startswith(f"{active_unit}__")
+        )
+        assert probs[port] == small_workload.active_probability
+
+    def test_scattered_without_regions_picks_smallest(self, small_circuit):
+        workload = scattered_hotspots_workload(small_circuit, num_hotspots=3)
+        counts = unit_cell_counts(small_circuit)
+        smallest = sorted(counts, key=counts.get)[:3]
+        assert set(workload.active_units) == set(smallest)
+
+    def test_scattered_with_regions_spreads_units(self, small_circuit, small_placement):
+        workload = scattered_hotspots_workload(
+            small_circuit, num_hotspots=4, regions=small_placement.regions
+        )
+        assert len(workload.active_units) == 4
+        centers = [small_placement.regions[u].center for u in workload.active_units]
+        # The selected units must not all be in the same half of the die.
+        xs = sorted(c[0] for c in centers)
+        ys = sorted(c[1] for c in centers)
+        core = small_placement.floorplan
+        assert (xs[-1] - xs[0]) > core.core_width * 0.3 or (
+            ys[-1] - ys[0]
+        ) > core.core_height * 0.3
+
+    def test_scattered_rejects_too_many_hotspots(self, small_circuit):
+        with pytest.raises(ValueError):
+            scattered_hotspots_workload(small_circuit, num_hotspots=99)
+
+    def test_concentrated_picks_largest(self, small_circuit):
+        workload = concentrated_hotspot_workload(small_circuit)
+        counts = unit_cell_counts(small_circuit)
+        largest = max(counts, key=counts.get)
+        assert workload.active_units == [largest]
+
+    def test_uniform_workload_activates_everything(self, small_circuit):
+        workload = uniform_workload(small_circuit, probability=0.4)
+        probs = workload.port_toggle_probabilities(small_circuit)
+        assert all(p == pytest.approx(0.4) for p in probs.values())
+
+    def test_custom_workload(self):
+        workload = custom_workload("mine", ["u1", "u2"], active_probability=0.7)
+        assert workload.unit_probability("u1") == 0.7
+        assert "u1" in workload.describe()
+
+    def test_describe_mentions_active_units(self, small_workload):
+        text = small_workload.describe()
+        for unit in small_workload.active_units:
+            assert unit in text

@@ -1,0 +1,159 @@
+"""Tests for rectangles, floorplans and the slicing partition."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.placement import Floorplan, Rect, slicing_partition
+
+
+class TestRect:
+    def test_dimensions(self):
+        rect = Rect(1.0, 2.0, 4.0, 8.0)
+        assert rect.width == pytest.approx(3.0)
+        assert rect.height == pytest.approx(6.0)
+        assert rect.area == pytest.approx(18.0)
+        assert rect.center == (pytest.approx(2.5), pytest.approx(5.0))
+
+    def test_contains(self):
+        rect = Rect(0.0, 0.0, 10.0, 10.0)
+        assert rect.contains(5.0, 5.0)
+        assert rect.contains(0.0, 0.0)
+        assert not rect.contains(10.0, 5.0)
+        assert not rect.contains(-1.0, 5.0)
+
+    def test_overlaps(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.overlaps(Rect(5, 5, 15, 15))
+        assert not a.overlaps(Rect(10, 0, 20, 10))
+        assert not a.overlaps(Rect(0, 11, 10, 20))
+
+    def test_expanded_and_clipped(self):
+        rect = Rect(2, 2, 4, 4)
+        grown = rect.expanded(1.0)
+        assert grown.x0 == pytest.approx(1.0)
+        assert grown.area == pytest.approx(16.0)
+        clipped = grown.clipped(Rect(0, 0, 3.5, 10))
+        assert clipped.x1 == pytest.approx(3.5)
+
+
+class TestFloorplan:
+    def test_from_netlist_respects_utilization(self, small_circuit):
+        floorplan = Floorplan.from_netlist(small_circuit, utilization=0.8)
+        actual = floorplan.utilization(small_circuit)
+        assert actual <= 0.8 + 1e-9
+        assert actual > 0.7
+
+    def test_invalid_utilization_rejected(self, small_circuit):
+        with pytest.raises(ValueError):
+            Floorplan.from_netlist(small_circuit, utilization=0.0)
+        with pytest.raises(ValueError):
+            Floorplan.from_netlist(small_circuit, utilization=1.5)
+
+    def test_geometry_snapped_to_rows_and_sites(self, small_circuit):
+        floorplan = Floorplan.from_netlist(small_circuit, utilization=0.85)
+        assert floorplan.core_height == pytest.approx(
+            floorplan.num_rows * floorplan.row_height
+        )
+        assert floorplan.core_width == pytest.approx(
+            floorplan.sites_per_row * floorplan.site_width
+        )
+
+    def test_row_lookup_round_trip(self, small_circuit):
+        floorplan = Floorplan.from_netlist(small_circuit, utilization=0.85)
+        for row in (0, floorplan.num_rows // 2, floorplan.num_rows - 1):
+            y = floorplan.row_y(row)
+            assert floorplan.row_of_y(y + 0.1) == row
+
+    def test_row_y_out_of_range(self):
+        floorplan = Floorplan(core_width=10.0, core_height=9.0)
+        with pytest.raises(IndexError):
+            floorplan.row_y(floorplan.num_rows)
+
+    def test_with_extra_rows(self):
+        floorplan = Floorplan(core_width=20.0, core_height=18.0)
+        taller = floorplan.with_extra_rows(5)
+        assert taller.num_rows == floorplan.num_rows + 5
+        assert taller.core_width == floorplan.core_width
+        with pytest.raises(ValueError):
+            floorplan.with_extra_rows(-1)
+
+    def test_die_includes_margin(self):
+        floorplan = Floorplan(core_width=100.0, core_height=90.0, die_margin=10.0)
+        assert floorplan.die_width == pytest.approx(120.0)
+        assert floorplan.die_area > floorplan.core_area
+
+    def test_snap_x(self):
+        floorplan = Floorplan(core_width=10.0, core_height=9.0, site_width=0.2)
+        assert floorplan.snap_x(0.31) == pytest.approx(0.4)
+        assert floorplan.snap_x(-1.0) == 0.0
+        assert floorplan.snap_x(99.0) == pytest.approx(10.0)
+
+    def test_aspect_ratio(self, small_circuit):
+        tall = Floorplan.from_netlist(small_circuit, utilization=0.8, aspect_ratio=2.0)
+        assert tall.core_height > tall.core_width
+
+
+class TestSlicingPartition:
+    def test_partition_tiles_the_rectangle(self):
+        bounds = Rect(0, 0, 100, 80)
+        areas = {"a": 4000.0, "b": 2000.0, "c": 1000.0, "d": 1000.0}
+        regions = slicing_partition(bounds, areas)
+        assert set(regions) == set(areas)
+        total = sum(r.area for r in regions.values())
+        assert total == pytest.approx(bounds.area)
+
+    def test_region_areas_proportional(self):
+        bounds = Rect(0, 0, 100, 100)
+        areas = {"a": 3000.0, "b": 1000.0}
+        regions = slicing_partition(bounds, areas)
+        ratio = regions["a"].area / regions["b"].area
+        assert ratio == pytest.approx(3.0, rel=0.01)
+
+    def test_single_unit_gets_everything(self):
+        bounds = Rect(0, 0, 50, 50)
+        regions = slicing_partition(bounds, {"only": 123.0})
+        assert regions["only"] == bounds
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            slicing_partition(Rect(0, 0, 1, 1), {})
+
+    def test_non_positive_area_rejected(self):
+        with pytest.raises(ValueError):
+            slicing_partition(Rect(0, 0, 1, 1), {"a": 0.0})
+
+    def test_regions_do_not_overlap(self):
+        bounds = Rect(0, 0, 60, 60)
+        areas = {f"u{i}": float(10 + i * 5) for i in range(9)}
+        regions = slicing_partition(bounds, areas)
+        names = list(regions)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                assert not regions[a].overlaps(regions[b]), (a, b)
+
+    @given(
+        areas=st.lists(st.floats(1.0, 1000.0), min_size=1, max_size=9),
+        width=st.floats(10.0, 500.0),
+        height=st.floats(10.0, 500.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_tiling_and_proportionality(self, areas, width, height):
+        bounds = Rect(0.0, 0.0, width, height)
+        unit_areas = {f"u{i}": a for i, a in enumerate(areas)}
+        regions = slicing_partition(bounds, unit_areas)
+        # Tiling: region areas sum to the bounds area.
+        assert sum(r.area for r in regions.values()) == pytest.approx(bounds.area, rel=1e-6)
+        # Every region is inside the bounds.
+        for region in regions.values():
+            assert region.x0 >= bounds.x0 - 1e-9
+            assert region.y0 >= bounds.y0 - 1e-9
+            assert region.x1 <= bounds.x1 + 1e-9
+            assert region.y1 <= bounds.y1 + 1e-9
+        # Proportionality: each region's area share matches its cell-area share.
+        total_cells = sum(unit_areas.values())
+        for name, region in regions.items():
+            assert region.area / bounds.area == pytest.approx(
+                unit_areas[name] / total_cells, rel=1e-6, abs=1e-6
+            )

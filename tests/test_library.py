@@ -1,0 +1,144 @@
+"""Tests for the standard-cell library model."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import CellLibrary, MasterCell, ROW_HEIGHT, SITE_WIDTH, default_library
+from repro.netlist.library import (
+    _fn_fa,
+    _fn_ha,
+    _fn_mux2,
+    _fn_xor,
+)
+
+
+class TestDefaultLibrary:
+    def test_contains_basic_gates(self, library):
+        for name in ("INV_X1", "NAND2_X1", "NOR2_X1", "XOR2_X1", "FA_X1", "HA_X1", "DFF_X1"):
+            assert name in library
+
+    def test_unknown_cell_raises_keyerror(self, library):
+        with pytest.raises(KeyError):
+            library["NOT_A_CELL"]
+
+    def test_get_returns_none_for_unknown(self, library):
+        assert library.get("NOT_A_CELL") is None
+
+    def test_filler_cells_are_zero_power(self, library):
+        fillers = library.filler_cells()
+        assert fillers, "library must provide filler cells"
+        for filler in fillers:
+            assert filler.is_filler
+            assert filler.leakage_nw == 0.0
+            assert filler.internal_energy_fj == 0.0
+            assert filler.input_cap_ff == 0.0
+
+    def test_filler_cells_sorted_by_decreasing_width(self, library):
+        widths = [f.width_sites for f in library.filler_cells()]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_logic_cells_excludes_fillers(self, library):
+        assert all(not c.is_filler for c in library.logic_cells())
+
+    def test_sequential_cells(self, library):
+        names = {c.name for c in library.sequential_cells()}
+        assert "DFF_X1" in names
+
+    def test_len_and_iter(self, library):
+        assert len(library) == len(list(library))
+
+    def test_duplicate_cell_rejected(self, library):
+        inv = library["INV_X1"]
+        with pytest.raises(ValueError):
+            library.add(inv)
+
+    def test_duplicate_in_constructor_rejected(self, library):
+        inv = library["INV_X1"]
+        with pytest.raises(ValueError):
+            CellLibrary([inv, inv])
+
+
+class TestMasterCellGeometry:
+    def test_width_matches_sites(self, library):
+        inv = library["INV_X1"]
+        assert inv.width_um == pytest.approx(inv.width_sites * SITE_WIDTH)
+
+    def test_height_is_row_height(self, library):
+        assert library["NAND2_X1"].height_um == pytest.approx(ROW_HEIGHT)
+
+    def test_area(self, library):
+        fa = library["FA_X1"]
+        assert fa.area_um2 == pytest.approx(fa.width_um * ROW_HEIGHT)
+
+    def test_num_pins(self, library):
+        assert library["FA_X1"].num_pins == 5
+        assert library["INV_X1"].num_pins == 2
+
+    def test_sequential_flag(self, library):
+        assert library["DFF_X1"].is_sequential
+        assert not library["NAND2_X1"].is_sequential
+
+
+class TestLogicFunctions:
+    def test_inverter(self, library):
+        inv = library["INV_X1"]
+        a = np.array([True, False])
+        (y,) = inv.evaluate([a])
+        assert list(y) == [False, True]
+
+    def test_nand(self, library):
+        nand = library["NAND2_X1"]
+        a = np.array([True, True, False, False])
+        b = np.array([True, False, True, False])
+        (y,) = nand.evaluate([a, b])
+        assert list(y) == [False, True, True, True]
+
+    def test_xor_function(self):
+        a = np.array([True, True, False, False])
+        b = np.array([True, False, True, False])
+        (y,) = _fn_xor([a, b])
+        assert list(y) == [False, True, True, False]
+
+    def test_mux_function(self):
+        a = np.array([True, True, False, False])
+        b = np.array([False, False, True, True])
+        sel = np.array([False, True, False, True])
+        (y,) = _fn_mux2([a, b, sel])
+        assert list(y) == [True, False, False, True]
+
+    def test_half_adder_truth_table(self):
+        a = np.array([False, False, True, True])
+        b = np.array([False, True, False, True])
+        s, c = _fn_ha([a, b])
+        assert list(s) == [False, True, True, False]
+        assert list(c) == [False, False, False, True]
+
+    def test_full_adder_truth_table(self):
+        values = []
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    values.append((a, b, cin))
+        a = np.array([v[0] for v in values], dtype=bool)
+        b = np.array([v[1] for v in values], dtype=bool)
+        cin = np.array([v[2] for v in values], dtype=bool)
+        s, cout = _fn_fa([a, b, cin])
+        for i, (va, vb, vc) in enumerate(values):
+            total = va + vb + vc
+            assert s[i] == bool(total % 2)
+            assert cout[i] == bool(total >= 2)
+
+    def test_filler_has_no_usable_function(self, library):
+        filler = library["FILL_X1"]
+        # Fillers expose a placeholder function but are never evaluated by
+        # the simulator; evaluating with no inputs returns an all-zero array.
+        out = filler.evaluate([np.array([True, False])])
+        assert not out[0].any()
+
+    def test_and_or_multi_input(self, library):
+        nand3 = library["NAND3_X1"]
+        a = np.array([True, True])
+        b = np.array([True, False])
+        c = np.array([True, True])
+        (y,) = nand3.evaluate([a, b, c])
+        assert list(y) == [False, True]

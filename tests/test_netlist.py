@@ -1,0 +1,173 @@
+"""Tests for the netlist container: construction, queries, levelization."""
+
+import pytest
+
+from repro.netlist import Netlist
+
+
+class TestConstruction:
+    def test_add_cell(self, empty_netlist):
+        inst = empty_netlist.add_cell("g1", "NAND2_X1", unit="u0")
+        assert inst.master.name == "NAND2_X1"
+        assert inst.unit == "u0"
+        assert empty_netlist.num_cells == 1
+
+    def test_duplicate_cell_rejected(self, empty_netlist):
+        empty_netlist.add_cell("g1", "INV_X1")
+        with pytest.raises(ValueError):
+            empty_netlist.add_cell("g1", "INV_X1")
+
+    def test_add_net_idempotent(self, empty_netlist):
+        net1 = empty_netlist.add_net("n1")
+        net2 = empty_netlist.add_net("n1")
+        assert net1 is net2
+        assert empty_netlist.num_nets == 1
+
+    def test_duplicate_port_rejected(self, empty_netlist):
+        empty_netlist.add_port("a", "input")
+        with pytest.raises(ValueError):
+            empty_netlist.add_port("a", "output")
+
+    def test_connect_driver_and_sink(self, empty_netlist):
+        inv = empty_netlist.add_cell("inv", "INV_X1")
+        buf = empty_netlist.add_cell("buf", "BUF_X1")
+        net = empty_netlist.connect("n1", inv.pin("Y"))
+        empty_netlist.connect("n1", buf.pin("A"))
+        assert net.driver_pin is inv.pin("Y")
+        assert buf.pin("A") in net.sink_pins
+
+    def test_two_drivers_rejected(self, empty_netlist):
+        a = empty_netlist.add_cell("a", "INV_X1")
+        b = empty_netlist.add_cell("b", "INV_X1")
+        empty_netlist.connect("n1", a.pin("Y"))
+        with pytest.raises(ValueError):
+            empty_netlist.connect("n1", b.pin("Y"))
+
+    def test_remove_cell_disconnects_pins(self, tiny_netlist):
+        net = tiny_netlist.nets["n1"]
+        assert net.num_sinks == 1
+        tiny_netlist.remove_cell("u3")
+        assert net.num_sinks == 0
+        assert "u3" not in tiny_netlist.cells
+
+
+class TestQueries:
+    def test_primary_ports(self, tiny_netlist):
+        assert {p.name for p in tiny_netlist.primary_inputs} == {"in_a", "in_b"}
+        assert {p.name for p in tiny_netlist.primary_outputs} == {"out_q"}
+
+    def test_cell_classification(self, tiny_netlist):
+        assert len(tiny_netlist.sequential_cells()) == 1
+        assert len(tiny_netlist.combinational_cells()) == 3
+        assert len(tiny_netlist.logic_cells()) == 4
+        assert tiny_netlist.filler_cells() == []
+
+    def test_units(self, tiny_netlist):
+        assert tiny_netlist.units() == ["left", "right"]
+        assert {c.name for c in tiny_netlist.cells_in_unit("left")} == {"u1", "u2"}
+
+    def test_total_cell_area_positive(self, tiny_netlist):
+        assert tiny_netlist.total_cell_area() > 0.0
+
+    def test_total_cell_area_excludes_fillers_by_default(self, tiny_netlist):
+        base = tiny_netlist.total_cell_area()
+        filler = tiny_netlist.add_cell("fill0", "FILL_X4")
+        assert tiny_netlist.total_cell_area() == pytest.approx(base)
+        assert tiny_netlist.total_cell_area(include_fillers=True) > base
+        tiny_netlist.remove_cell(filler.name)
+
+    def test_fanout_fanin(self, tiny_netlist):
+        u1 = tiny_netlist.cells["u1"]
+        u3 = tiny_netlist.cells["u3"]
+        assert [c.name for c in tiny_netlist.fanout_cells(u1)] == ["u3"]
+        assert {c.name for c in tiny_netlist.fanin_cells(u3)} == {"u1", "u2"}
+
+    def test_statistics_keys(self, tiny_netlist):
+        stats = tiny_netlist.statistics()
+        assert stats["num_cells"] == 4
+        assert stats["num_sequential"] == 1
+        assert stats["total_cell_area_um2"] > 0
+
+
+class TestLevelization:
+    def test_levelize_order_respects_dependencies(self, tiny_netlist):
+        order = [c.name for c in tiny_netlist.levelize()]
+        assert set(order) == {"u1", "u2", "u3"}
+        assert order.index("u1") < order.index("u3")
+        assert order.index("u2") < order.index("u3")
+
+    def test_cycle_through_dff_is_allowed(self, empty_netlist):
+        # inv output feeds DFF, DFF output feeds inv: sequential loop only.
+        inv = empty_netlist.add_cell("inv", "INV_X1")
+        dff = empty_netlist.add_cell("dff", "DFF_X1")
+        empty_netlist.connect("n_d", inv.pin("Y"))
+        empty_netlist.connect("n_d", dff.pin("D"))
+        empty_netlist.connect("n_q", dff.pin("Q"))
+        empty_netlist.connect("n_q", inv.pin("A"))
+        order = empty_netlist.levelize()
+        assert [c.name for c in order] == ["inv"]
+
+    def test_combinational_cycle_detected(self, empty_netlist):
+        a = empty_netlist.add_cell("a", "INV_X1")
+        b = empty_netlist.add_cell("b", "INV_X1")
+        empty_netlist.connect("n1", a.pin("Y"))
+        empty_netlist.connect("n1", b.pin("A"))
+        empty_netlist.connect("n2", b.pin("Y"))
+        empty_netlist.connect("n2", a.pin("A"))
+        with pytest.raises(ValueError, match="cycle"):
+            empty_netlist.levelize()
+
+
+class TestCopyAndMerge:
+    def test_copy_preserves_structure(self, tiny_netlist):
+        clone = tiny_netlist.copy()
+        assert clone.num_cells == tiny_netlist.num_cells
+        assert clone.num_nets == tiny_netlist.num_nets
+        assert set(clone.ports) == set(tiny_netlist.ports)
+        assert clone.cells["u3"] is not tiny_netlist.cells["u3"]
+        assert clone.check() == []
+
+    def test_copy_is_isolated(self, tiny_netlist):
+        clone = tiny_netlist.copy()
+        clone.cells["u1"].place(1.0, 2.0, 0)
+        assert tiny_netlist.cells["u1"].x is None
+
+    def test_copy_preserves_placement(self, tiny_netlist):
+        tiny_netlist.cells["u1"].place(3.0, 1.8, 1)
+        clone = tiny_netlist.copy()
+        assert clone.cells["u1"].x == pytest.approx(3.0)
+        assert clone.cells["u1"].row == 1
+        tiny_netlist.cells["u1"].x = None
+        tiny_netlist.cells["u1"].y = None
+        tiny_netlist.cells["u1"].row = None
+
+    def test_merge_prefixes_names_and_sets_unit(self, tiny_netlist, library):
+        top = Netlist("top", library)
+        top.merge(tiny_netlist, prefix="blk__", unit="blk")
+        assert "blk__u1" in top.cells
+        assert "blk__in_a" in top.ports
+        assert top.cells["blk__u1"].unit == "blk"
+        assert top.check() == []
+
+    def test_merge_two_instances(self, tiny_netlist, library):
+        top = Netlist("top", library)
+        top.merge(tiny_netlist, prefix="a__", unit="a")
+        top.merge(tiny_netlist, prefix="b__", unit="b")
+        assert top.num_cells == 2 * tiny_netlist.num_cells
+        assert top.units() == ["a", "b"]
+
+
+class TestCheck:
+    def test_clean_netlist_has_no_problems(self, tiny_netlist):
+        assert tiny_netlist.check() == []
+
+    def test_undriven_net_reported(self, empty_netlist):
+        inv = empty_netlist.add_cell("inv", "INV_X1")
+        empty_netlist.connect("floating", inv.pin("A"))
+        problems = empty_netlist.check()
+        assert any("no driver" in p for p in problems)
+
+    def test_unconnected_input_reported(self, empty_netlist):
+        empty_netlist.add_cell("inv", "INV_X1")
+        problems = empty_netlist.check()
+        assert any("unconnected" in p for p in problems)

@@ -1,0 +1,101 @@
+"""Tests for structural Verilog and DEF-like placement I/O."""
+
+import pytest
+
+from repro.netlist import (
+    Netlist,
+    read_def,
+    read_verilog,
+    write_def,
+    write_verilog,
+)
+
+
+class TestVerilogRoundTrip:
+    def test_write_contains_module_and_instances(self, tiny_netlist):
+        text = write_verilog(tiny_netlist)
+        assert "module tiny" in text
+        assert "NAND2_X1 u3" in text
+        assert "endmodule" in text
+
+    def test_round_trip_preserves_structure(self, tiny_netlist, library):
+        text = write_verilog(tiny_netlist)
+        parsed = read_verilog(text, library)
+        assert parsed.num_cells == tiny_netlist.num_cells
+        assert set(parsed.ports) == set(tiny_netlist.ports)
+        assert parsed.check() == []
+        # Connectivity: the NAND must still drive the DFF.
+        nand_out = parsed.cells["u3"].pin("Y").net
+        assert nand_out is not None
+        assert any(pin.cell.name == "u4" for pin in nand_out.sink_pins)
+
+    def test_round_trip_of_generated_unit(self, library):
+        from repro.bench import ripple_carry_adder
+
+        adder = ripple_carry_adder(4, library=library)
+        parsed = read_verilog(write_verilog(adder), library)
+        assert parsed.num_cells == adder.num_cells
+        assert parsed.check() == []
+
+    def test_unknown_master_raises(self, library):
+        text = "module m (a);\n input a;\n BOGUS_X1 u0 (.A(a));\nendmodule\n"
+        with pytest.raises(ValueError, match="unknown master"):
+            read_verilog(text, library)
+
+    def test_missing_module_raises(self, library):
+        with pytest.raises(ValueError, match="module"):
+            read_verilog("wire x;", library)
+
+
+class TestDefRoundTrip:
+    def test_round_trip_preserves_positions(self, tiny_netlist):
+        for i, cell in enumerate(tiny_netlist.cells.values()):
+            cell.place(i * 2.0, 1.8, 1)
+        text = write_def(tiny_netlist, die_width=50.0, die_height=50.0,
+                         num_rows=10, row_height=1.8)
+        clone = tiny_netlist.copy()
+        for cell in clone.cells.values():
+            cell.x = cell.y = cell.row = None
+        die = read_def(text, clone)
+        assert die.num_rows == 10
+        assert die.width == pytest.approx(50.0)
+        for name, cell in tiny_netlist.cells.items():
+            assert clone.cells[name].x == pytest.approx(cell.x)
+            assert clone.cells[name].row == cell.row
+        for cell in tiny_netlist.cells.values():
+            cell.x = cell.y = cell.row = None
+
+    def test_unknown_instances_are_created(self, tiny_netlist, library):
+        text = (
+            "DESIGN tiny ;\n"
+            "DIEAREA ( 0 0 ) ( 10 10 ) ;\n"
+            "ROWS 5 HEIGHT 1.8 ;\n"
+            "COMPONENTS 1 ;\n"
+            "  - FILLER_99 FILL_X2 + PLACED ( 1.0 0.0 ) ROW 0 ;\n"
+            "END COMPONENTS\nEND DESIGN\n"
+        )
+        clone = tiny_netlist.copy()
+        read_def(text, clone)
+        assert "FILLER_99" in clone.cells
+        assert clone.cells["FILLER_99"].is_filler
+
+    def test_malformed_header_raises(self, tiny_netlist):
+        with pytest.raises(ValueError, match="malformed"):
+            read_def("COMPONENTS 0 ;", tiny_netlist.copy())
+
+
+class TestNetGeometry:
+    def test_hpwl_zero_when_unplaced(self, tiny_netlist):
+        assert tiny_netlist.nets["n3"].hpwl() == 0.0
+
+    def test_hpwl_of_two_point_net(self, tiny_netlist):
+        u3 = tiny_netlist.cells["u3"]
+        u4 = tiny_netlist.cells["u4"]
+        u3.place(0.0, 0.0, 0)
+        u4.place(10.0, 3.6, 2)
+        net = tiny_netlist.nets["n3"]
+        expected_dx = abs(u4.center[0] - u3.center[0])
+        expected_dy = abs(u4.center[1] - u3.center[1])
+        assert net.hpwl() == pytest.approx(expected_dx + expected_dy)
+        for cell in (u3, u4):
+            cell.x = cell.y = cell.row = None

@@ -1,0 +1,219 @@
+"""Tests for vectors, logic simulation, activity and the power model."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.netlist import Netlist
+from repro.power import (
+    LogicSimulator,
+    PowerModel,
+    SwitchingActivity,
+    VectorSet,
+    build_power_map,
+    estimate_activity,
+    generate_vectors,
+)
+
+
+class TestVectors:
+    def test_shapes(self, tiny_netlist):
+        vectors = generate_vectors(tiny_netlist, {}, num_cycles=10, batch_size=4)
+        assert vectors.num_cycles == 10
+        assert vectors.batch_size == 4
+        assert set(vectors.values) == {"in_a", "in_b"}
+
+    def test_toggle_probability_controls_activity(self, tiny_netlist):
+        vectors = generate_vectors(
+            tiny_netlist,
+            {"in_a": 0.9, "in_b": 0.02},
+            num_cycles=200,
+            batch_size=16,
+            seed=1,
+        )
+        assert vectors.toggle_rate("in_a") > 0.7
+        assert vectors.toggle_rate("in_b") < 0.1
+
+    def test_zero_probability_means_constant(self, tiny_netlist):
+        vectors = generate_vectors(
+            tiny_netlist, {"in_a": 0.0, "in_b": 0.0}, num_cycles=50, batch_size=8
+        )
+        assert vectors.toggle_rate("in_a") == 0.0
+
+    def test_deterministic_for_seed(self, tiny_netlist):
+        first = generate_vectors(tiny_netlist, {}, num_cycles=20, batch_size=4, seed=9)
+        second = generate_vectors(tiny_netlist, {}, num_cycles=20, batch_size=4, seed=9)
+        for name in first.values:
+            assert np.array_equal(first.values[name], second.values[name])
+
+    def test_invalid_probability_rejected(self, tiny_netlist):
+        with pytest.raises(ValueError):
+            generate_vectors(tiny_netlist, {"in_a": 1.5})
+
+    def test_no_inputs_rejected(self, empty_netlist):
+        with pytest.raises(ValueError):
+            generate_vectors(empty_netlist, {})
+
+    @given(prob=st.floats(0.0, 1.0))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_property_toggle_rate_tracks_probability(self, tiny_netlist, prob):
+        vectors = generate_vectors(
+            tiny_netlist, {"in_a": prob}, num_cycles=120, batch_size=8, seed=3
+        )
+        assert vectors.toggle_rate("in_a") == pytest.approx(prob, abs=0.12)
+
+
+class TestLogicSimulator:
+    def test_combinational_evaluation(self, tiny_netlist):
+        sim = LogicSimulator(tiny_netlist)
+        values = sim.evaluate_combinational(
+            {"in_a": np.array([True, False]), "in_b": np.array([True, True])}
+        )
+        # n1 = ~a, n2 = ~b, n3 = ~(n1 & n2)
+        assert list(values["n3"]) == [True, True]
+        values = sim.evaluate_combinational(
+            {"in_a": np.array([False]), "in_b": np.array([False])}
+        )
+        assert list(values["n3"]) == [False]
+
+    def test_sequential_pipeline_delay(self, tiny_netlist):
+        sim = LogicSimulator(tiny_netlist)
+        # Constant inputs 0,0 -> n3 = 0; the DFF output starts at 0 and
+        # stays 0; with inputs 1,1 -> n3 = 1 appears at q one cycle later.
+        values = {
+            "in_a": np.ones((4, 1), dtype=bool),
+            "in_b": np.ones((4, 1), dtype=bool),
+        }
+        result = sim.simulate(VectorSet(values), warmup_cycles=0)
+        assert bool(result.final_values["q"][0]) is True
+
+    def test_activity_counts(self, tiny_netlist):
+        values = {
+            "in_a": np.array([[False], [True], [False], [True]]),
+            "in_b": np.array([[False], [False], [False], [False]]),
+        }
+        result = LogicSimulator(tiny_netlist).simulate(VectorSet(values), warmup_cycles=0)
+        # in_a toggles every cycle: 3 transitions over 4 cycles in 1 stream.
+        assert result.toggle_counts["in_a"] == 3
+        assert 0.0 <= result.static_probability("in_a") <= 1.0
+
+    def test_missing_stimulus_raises(self, tiny_netlist):
+        values = {"in_a": np.zeros((3, 2), dtype=bool)}
+        with pytest.raises(ValueError):
+            VectorSet({})
+        with pytest.raises(KeyError):
+            LogicSimulator(tiny_netlist).simulate(VectorSet(values))
+
+
+class TestSwitchingActivity:
+    def test_from_estimation(self, tiny_netlist):
+        activity = estimate_activity(tiny_netlist, {"in_a": 0.5, "in_b": 0.5},
+                                     num_cycles=20, batch_size=8)
+        assert activity.toggle_rate("n3") > 0.0
+        assert 0.0 <= activity.static_probability("n3") <= 1.0
+
+    def test_idle_inputs_give_low_activity(self, tiny_netlist):
+        busy = estimate_activity(tiny_netlist, {"in_a": 0.5, "in_b": 0.5},
+                                 num_cycles=40, batch_size=8)
+        idle = estimate_activity(tiny_netlist, {"in_a": 0.01, "in_b": 0.01},
+                                 num_cycles=40, batch_size=8)
+        assert idle.average_toggle_rate() < busy.average_toggle_rate()
+
+    def test_scaled(self):
+        activity = SwitchingActivity(toggle_rates={"n": 0.4}, static_probabilities={"n": 0.5})
+        assert activity.scaled(0.5).toggle_rate("n") == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            activity.scaled(-1.0)
+
+    def test_uniform(self, tiny_netlist):
+        activity = SwitchingActivity.uniform(tiny_netlist, toggle_rate=0.3)
+        assert activity.toggle_rate("n1") == pytest.approx(0.3)
+
+
+class TestPowerModel:
+    def test_filler_cells_have_zero_power(self, tiny_netlist):
+        filler = tiny_netlist.add_cell("fillX", "FILL_X4")
+        activity = SwitchingActivity.uniform(tiny_netlist, 0.5)
+        report = PowerModel().estimate(tiny_netlist, activity)
+        assert report.power_of("fillX") == 0.0
+        tiny_netlist.remove_cell("fillX")
+
+    def test_zero_activity_leaves_only_leakage_and_clock(self, tiny_netlist):
+        activity = SwitchingActivity.uniform(tiny_netlist, 0.0)
+        report = PowerModel().estimate(tiny_netlist, activity)
+        for name, breakdown in report.cell_powers.items():
+            assert breakdown.switching == 0.0
+            assert breakdown.leakage > 0.0
+
+    def test_power_increases_with_activity(self, tiny_netlist):
+        model = PowerModel()
+        low = model.estimate(tiny_netlist, SwitchingActivity.uniform(tiny_netlist, 0.1))
+        high = model.estimate(tiny_netlist, SwitchingActivity.uniform(tiny_netlist, 0.8))
+        assert high.total() > low.total()
+
+    def test_power_scales_with_frequency(self, tiny_netlist):
+        activity = SwitchingActivity.uniform(tiny_netlist, 0.5)
+        slow = PowerModel(frequency_hz=0.5e9).estimate(tiny_netlist, activity)
+        fast = PowerModel(frequency_hz=1.0e9).estimate(tiny_netlist, activity)
+        assert fast.total_dynamic() == pytest.approx(2.0 * slow.total_dynamic(), rel=1e-6)
+
+    def test_leakage_temperature_scaling(self, tiny_netlist):
+        activity = SwitchingActivity.uniform(tiny_netlist, 0.0)
+        cold = PowerModel(temperature=25.0).estimate(tiny_netlist, activity)
+        hot = PowerModel(temperature=75.0).estimate(tiny_netlist, activity)
+        assert hot.total_leakage() == pytest.approx(4.0 * cold.total_leakage(), rel=1e-6)
+
+    def test_leakage_scaling_can_be_disabled(self, tiny_netlist):
+        model = PowerModel(temperature=100.0, leakage_temperature_scaling=False)
+        assert model.leakage_scale() == 1.0
+
+    def test_unit_totals(self, small_circuit, small_power):
+        totals = small_power.unit_totals(small_circuit)
+        assert set(totals) == set(small_circuit.units())
+        assert sum(totals.values()) == pytest.approx(small_power.total(), rel=1e-9)
+
+    def test_workload_creates_power_contrast(self, small_circuit, small_workload, small_power):
+        totals = small_power.unit_totals(small_circuit)
+        active = small_workload.active_units
+        idle = [u for u in small_circuit.units() if u not in active]
+        # Per-cell average power of active units must exceed idle units.
+        counts = {u: len(small_circuit.cells_in_unit(u)) for u in small_circuit.units()}
+        active_avg = sum(totals[u] for u in active) / sum(counts[u] for u in active)
+        idle_avg = sum(totals[u] for u in idle) / sum(counts[u] for u in idle)
+        assert active_avg > 1.5 * idle_avg
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(frequency_hz=0.0)
+
+
+class TestPowerMap:
+    def test_total_power_is_conserved(self, small_placement, small_power):
+        power_map = build_power_map(small_placement, small_power, nx=40, ny=40)
+        assert power_map.total_power == pytest.approx(small_power.total(), rel=1e-9)
+
+    def test_bins_and_geometry(self, small_placement, small_power):
+        power_map = build_power_map(small_placement, small_power, nx=20, ny=10)
+        assert power_map.power_w.shape == (10, 20)
+        assert power_map.nx == 20 and power_map.ny == 10
+        iy, ix = power_map.bin_of(0.0, 0.0)
+        assert 0 <= iy < 10 and 0 <= ix < 20
+        x, y = power_map.bin_center(iy, ix)
+        assert power_map.bin_of(x, y) == (iy, ix)
+
+    def test_peak_density_location_has_power(self, small_placement, small_power):
+        power_map = build_power_map(small_placement, small_power)
+        peak, (iy, ix) = power_map.peak_density()
+        assert peak > 0.0
+        assert power_map.power_w[iy, ix] == power_map.power_w.max()
+
+    def test_density_units(self, small_placement, small_power):
+        power_map = build_power_map(small_placement, small_power)
+        density = power_map.density_w_per_m2()
+        assert density.max() == pytest.approx(
+            power_map.power_w.max() / power_map.bin_area_m2
+        )

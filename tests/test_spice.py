@@ -1,0 +1,100 @@
+"""Tests for SPICE export, parsing and the internal MNA solver."""
+
+import numpy as np
+import pytest
+
+from repro.thermal import (
+    ThermalGrid,
+    ThermalNetwork,
+    ThermalSolver,
+    default_package,
+    parse_spice_netlist,
+    solve_spice_netlist,
+    write_spice_netlist,
+)
+from repro.thermal.spice import node_name
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        grid = ThermalGrid(40.0, 40.0, nx=4, ny=4, package=default_package())
+        network = ThermalNetwork(grid)
+        power = np.zeros((4, 4))
+        power[1, 2] = 1e-4
+        return grid, network, power
+
+    def test_deck_structure(self, tiny):
+        _grid, network, power = tiny
+        deck = write_spice_netlist(network, power)
+        assert deck.startswith("*")
+        assert "Vamb amb 0 DC" in deck
+        assert ".end" in deck
+        assert "I0 0" in deck
+
+    def test_parse_round_trip_counts(self, tiny):
+        _grid, network, power = tiny
+        deck = write_spice_netlist(network, power)
+        circuit = parse_spice_netlist(deck)
+        assert len(circuit.voltage_sources) == 1
+        assert len(circuit.current_sources) == 1
+        assert len(circuit.resistors) == len(network.elements().conductances)
+
+    def test_mna_matches_internal_solver(self, tiny):
+        grid, network, power = tiny
+        deck = write_spice_netlist(network, power)
+        voltages = solve_spice_netlist(deck)
+        reference = ThermalSolver(grid).solve(power)
+        # Compare the hottest active-layer node temperature.
+        iy, ix = reference.peak_location()
+        node = node_name(grid.node_index(grid.package.active_layer, iy, ix))
+        assert voltages[node] == pytest.approx(reference.temperatures[iy, ix], rel=1e-6)
+
+    def test_ambient_node_at_ambient_temperature(self, tiny):
+        grid, network, power = tiny
+        deck = write_spice_netlist(network, power)
+        voltages = solve_spice_netlist(deck)
+        assert voltages["amb"] == pytest.approx(grid.package.ambient_celsius, abs=1e-9)
+
+
+class TestParser:
+    def test_parse_simple_divider(self):
+        deck = """* resistor divider
+V1 top 0 DC 10.0
+R1 top mid 5.0
+R2 mid 0 5.0
+.end
+"""
+        voltages = solve_spice_netlist(deck)
+        assert voltages["mid"] == pytest.approx(5.0)
+        assert voltages["top"] == pytest.approx(10.0)
+
+    def test_current_source_into_resistor(self):
+        deck = """* current into resistor
+I1 0 n1 DC 0.5
+R1 n1 0 4.0
+.end
+"""
+        voltages = solve_spice_netlist(deck)
+        assert voltages["n1"] == pytest.approx(2.0)
+
+    def test_unsupported_element_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            parse_spice_netlist("C1 a 0 1e-12\n.end\n")
+
+    def test_malformed_resistor_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_spice_netlist("R1 a 0\n.end\n")
+
+    def test_non_positive_resistance_rejected(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            solve_spice_netlist("R1 a 0 0.0\nI1 0 a DC 1.0\n.end\n")
+
+    def test_empty_deck_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            solve_spice_netlist("* nothing here\n.end\n")
+
+    def test_comments_and_title(self):
+        circuit = parse_spice_netlist("* my title\nR1 a 0 1.0\n.end\n")
+        assert circuit.title == "my title"
+        assert circuit.node_names() == ["a"]

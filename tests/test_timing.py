@@ -1,0 +1,123 @@
+"""Tests for the delay model and static timing analysis."""
+
+import pytest
+
+from repro.netlist import Netlist
+from repro.timing import (
+    DelayModel,
+    StaticTimingAnalyzer,
+    TimingReport,
+    analyze_timing,
+)
+
+
+class TestDelayModel:
+    def test_cell_derating_increases_with_temperature(self):
+        model = DelayModel()
+        assert model.cell_derating(25.0) == pytest.approx(1.0)
+        assert model.cell_derating(35.0) == pytest.approx(1.04)
+        assert model.cell_derating(125.0) == pytest.approx(1.4)
+
+    def test_wire_derating(self):
+        model = DelayModel()
+        assert model.wire_derating(35.0) == pytest.approx(1.05)
+
+    def test_cell_delay_grows_with_load(self, tiny_netlist):
+        model = DelayModel()
+        u3 = tiny_netlist.cells["u3"]
+        unloaded = model.cell_delay_ps(u3, None)
+        loaded = model.cell_delay_ps(u3, u3.pin("Y").net)
+        assert loaded > unloaded
+
+    def test_wire_delay_uses_placement(self, tiny_netlist):
+        model = DelayModel()
+        net = tiny_netlist.nets["n3"]
+        before = model.wire_delay_ps(net)
+        tiny_netlist.cells["u3"].place(0.0, 0.0, 0)
+        tiny_netlist.cells["u4"].place(200.0, 0.0, 0)
+        after = model.wire_delay_ps(net)
+        assert after > before
+        for name in ("u3", "u4"):
+            cell = tiny_netlist.cells[name]
+            cell.x = cell.y = cell.row = None
+
+    def test_stage_delay_is_cell_plus_wire(self, tiny_netlist):
+        model = DelayModel()
+        u1 = tiny_netlist.cells["u1"]
+        net = u1.pin("Y").net
+        assert model.stage_delay_ps(u1, net) == pytest.approx(
+            model.cell_delay_ps(u1, net) + model.wire_delay_ps(net)
+        )
+
+
+class TestStaticTimingAnalysis:
+    def test_report_structure(self, tiny_netlist):
+        report = analyze_timing(tiny_netlist)
+        assert report.critical_path_ps > 0.0
+        assert report.num_endpoints >= 1
+        assert report.worst_path is not None
+        assert report.worst_slack_ps == pytest.approx(
+            report.clock_period_ps - report.critical_path_ps
+        )
+
+    def test_longer_chain_has_longer_path(self, library):
+        def chain(depth):
+            netlist = Netlist(f"chain{depth}", library)
+            netlist.add_port("pi", "input")
+            netlist.add_port("po", "output")
+            netlist.connect_port("pi", "pi")
+            prev = "pi"
+            for i in range(depth):
+                inv = netlist.add_cell(f"i{i}", "INV_X1")
+                netlist.connect(prev, inv.pin("A"))
+                prev = f"n{i}"
+                netlist.connect(prev, inv.pin("Y"))
+            netlist.connect_port(prev, "po")
+            return analyze_timing(netlist).critical_path_ps
+
+        assert chain(8) > chain(2)
+
+    def test_temperature_increases_critical_path(self, small_circuit):
+        cold = analyze_timing(small_circuit, temperature=25.0)
+        hot = analyze_timing(small_circuit, temperature=85.0)
+        assert hot.critical_path_ps > cold.critical_path_ps
+
+    def test_meets_timing_flag(self, tiny_netlist):
+        slow_clock = analyze_timing(tiny_netlist, clock_period_ps=10000.0)
+        assert slow_clock.meets_timing
+        fast_clock = analyze_timing(tiny_netlist, clock_period_ps=0.001)
+        assert not fast_clock.meets_timing
+
+    def test_overhead_versus(self):
+        base = TimingReport(1000.0, 1000.0, 0.0, None, 1)
+        worse = TimingReport(1020.0, 1000.0, -20.0, None, 1)
+        assert worse.overhead_versus(base) == pytest.approx(0.02)
+        with pytest.raises(ValueError):
+            worse.overhead_versus(TimingReport(0.0, 1000.0, 0.0, None, 0))
+
+    def test_empty_design_report(self, empty_netlist):
+        report = analyze_timing(empty_netlist)
+        assert report.critical_path_ps == 0.0
+        assert report.num_endpoints == 0
+
+    def test_worst_path_traces_cells(self, tiny_netlist):
+        report = analyze_timing(tiny_netlist)
+        assert report.worst_path.through_cells
+        assert set(report.worst_path.through_cells) <= set(tiny_netlist.cells)
+
+    def test_placement_affects_wire_delay(self, small_circuit, small_placement):
+        placed = analyze_timing(small_circuit)
+        # Analysis uses the cells' current (placed) coordinates; the small
+        # benchmark critical path must be below the 1 GHz clock period by a
+        # reasonable margin but not trivially small.
+        assert 50.0 < placed.critical_path_ps
+
+
+class TestAnalyzerOnBenchmark:
+    def test_analyzer_with_explicit_model(self, small_circuit):
+        analyzer = StaticTimingAnalyzer(
+            small_circuit, delay_model=DelayModel(temperature=50.0), clock_period_ps=2000.0
+        )
+        report = analyzer.analyze()
+        assert report.clock_period_ps == 2000.0
+        assert report.critical_path_ps > 0.0
