@@ -16,7 +16,7 @@ from repro.bench import (
     concentrated_hotspot_workload,
     scattered_hotspots_workload,
 )
-from repro.flow import ExperimentSetup
+from repro.flow import ExperimentSetup, SolverCache
 from repro.placement import place_design
 
 
@@ -27,19 +27,31 @@ def full_circuit():
 
 
 @pytest.fixture(scope="session")
-def scattered_setup(full_circuit):
+def solver_cache():
+    """One solver cache for the whole benchmark session.
+
+    Both test-set baselines place the same circuit at the same utilization,
+    so they share one die outline — and therefore one factorisation.
+    """
+    return SolverCache(maxsize=32)
+
+
+@pytest.fixture(scope="session")
+def scattered_setup(full_circuit, solver_cache):
     """Baseline for the paper's first test set (four scattered small hotspots)."""
     placement = place_design(full_circuit, utilization=0.85)
     workload = scattered_hotspots_workload(full_circuit, regions=placement.regions)
     return ExperimentSetup.prepare(
-        full_circuit, workload, num_cycles=16, batch_size=16, seed=2010
+        full_circuit, workload, num_cycles=16, batch_size=16, seed=2010,
+        cache=solver_cache,
     )
 
 
 @pytest.fixture(scope="session")
-def concentrated_setup(full_circuit):
+def concentrated_setup(full_circuit, solver_cache):
     """Baseline for the paper's second test set (one large concentrated hotspot)."""
     workload = concentrated_hotspot_workload(full_circuit)
     return ExperimentSetup.prepare(
-        full_circuit, workload, num_cycles=16, batch_size=16, seed=2010
+        full_circuit, workload, num_cycles=16, batch_size=16, seed=2010,
+        cache=solver_cache,
     )

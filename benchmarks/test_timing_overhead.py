@@ -14,7 +14,7 @@ placement the paper relies on — see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from repro.flow import evaluate_strategy
+from repro.flow import Campaign
 
 #: Largest overhead of the Figure 6 sweep.
 OVERHEAD = 0.322
@@ -26,10 +26,15 @@ MAX_TIMING_OVERHEAD = 0.10
 def test_timing_overhead_of_all_techniques(scattered_setup, benchmark):
     setup = scattered_setup
 
+    campaign = Campaign(
+        setup, strategies=("default", "eri", "hw"), overheads=(OVERHEAD,),
+        analyze_timing=True, name="timing-overhead",
+    )
+
     def run():
         return {
-            strategy: evaluate_strategy(setup, strategy, OVERHEAD, analyze_timing=True)
-            for strategy in ("default", "eri", "hw")
+            record.point.strategy: record.outcome
+            for record in campaign.run().records
         }
 
     outcomes = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -6,7 +6,9 @@ vectors, solves the RC thermal network, applies Empty Row Insertion at a
 15% area overhead and reports the peak-temperature reduction.
 
 Run with ``--full`` to use the paper-sized (~12k cell) benchmark instead of
-the fast scaled-down one.
+the fast scaled-down one.  The same flow is available from the shell as
+``python -m repro quickstart``; see ``examples/campaign_sweep.py`` for
+running whole (strategy x overhead) grids through the campaign runner.
 """
 
 from __future__ import annotations

@@ -17,11 +17,17 @@ Typical usage::
     setup = flow.ExperimentSetup.prepare(netlist, workload)
     outcome = flow.evaluate_strategy(setup, "eri", area_overhead=0.15)
     print(outcome.temperature_reduction)
+
+Whole figure/table grids run through the campaign runner
+(:class:`repro.flow.Campaign`), which shares one geometry-keyed solver
+cache (:class:`repro.flow.SolverCache`) across all points and persists
+records to JSON/CSV; ``python -m repro sweep`` drives the same machinery
+from the shell (see :mod:`repro.cli`).
 """
 
 from . import analysis, bench, core, flow, netlist, placement, power, thermal, timing
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",

@@ -1,0 +1,315 @@
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
+
+Three subcommands drive the campaign runner end to end and persist results
+to disk:
+
+``quickstart``
+    The full Figure-2 flow on one strategy/overhead point — place, estimate
+    power, solve thermal, apply a technique, re-simulate, report.
+
+``sweep``
+    The Figure-6 grid (strategy x overhead) on the scattered-hotspot test
+    set, executed by :class:`~repro.flow.runner.Campaign` with a shared
+    solver cache, written as JSON (and optionally CSV).
+
+``table1``
+    The Table-I concentrated-hotspot comparison (Default versus ERI at
+    matched row counts), written as JSON (and optionally CSV).
+
+Every run prints the corresponding plain-text report and writes machine-
+readable records under ``--out`` (default ``results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis import figure6_report, table1_report
+from .bench import (
+    build_synthetic_circuit,
+    concentrated_hotspot_workload,
+    scattered_hotspots_workload,
+    small_synthetic_circuit,
+)
+from .flow import (
+    Campaign,
+    CampaignResult,
+    ExperimentSetup,
+    SolverCache,
+    concentrated_hotspot_table,
+    evaluate_strategy,
+    records_from_outcomes,
+)
+
+logger = logging.getLogger("repro.cli")
+
+#: Overheads swept by ``repro sweep`` when not overridden; includes the
+#: paper's 15% reference point.
+SWEEP_OVERHEADS = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be strictly positive."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text}")
+    return value
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser, default_full: bool = False) -> None:
+    parser.add_argument(
+        "--full", dest="full", action="store_true", default=default_full,
+        help="use the full paper-sized (~12k cell) benchmark"
+             + (" (default)" if default_full else ""),
+    )
+    parser.add_argument(
+        "--small", dest="full", action="store_false",
+        help="use the scaled-down benchmark (fast)"
+             + ("" if default_full else " (default)"),
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("results"),
+        help="directory for result files (default: results/)",
+    )
+    parser.add_argument(
+        "--csv", action="store_true",
+        help="also write the records as CSV next to the JSON file",
+    )
+    parser.add_argument(
+        "--utilization", type=float, default=0.85,
+        help="baseline utilization factor (default: 0.85)",
+    )
+    parser.add_argument(
+        "--cycles", type=_positive_int, default=24,
+        help="logic-simulation cycles for activity estimation (default: 24)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2010,
+        help="random seed for vector generation (default: 2010)",
+    )
+    parser.add_argument(
+        "--grid", type=_positive_int, default=40, metavar="N",
+        help="thermal grid resolution per axis (default: 40, as in the paper)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log per-point progress while the campaign runs",
+    )
+
+
+def _build_circuit(args: argparse.Namespace):
+    return build_synthetic_circuit() if args.full else small_synthetic_circuit()
+
+
+def _prepare_setup(args: argparse.Namespace, workload_builder, cache: SolverCache) -> ExperimentSetup:
+    netlist = _build_circuit(args)
+    workload = workload_builder(netlist)
+    logger.info(
+        "benchmark %s: %d cells, workload %s",
+        netlist.name, netlist.num_cells, workload.name,
+    )
+    return ExperimentSetup.prepare(
+        netlist,
+        workload,
+        base_utilization=args.utilization,
+        grid_nx=args.grid,
+        grid_ny=args.grid,
+        num_cycles=args.cycles,
+        seed=args.seed,
+        cache=cache,
+    )
+
+
+def _write_result(result: CampaignResult, args: argparse.Namespace, stem: str) -> Path:
+    json_path = result.to_json(args.out / f"{stem}.json")
+    print(f"wrote {json_path}")
+    if args.csv:
+        csv_path = result.to_csv(args.out / f"{stem}.csv")
+        print(f"wrote {csv_path}")
+    return json_path
+
+
+# -- subcommands -------------------------------------------------------------
+
+
+def run_quickstart(args: argparse.Namespace) -> int:
+    """One strategy/overhead point end to end, with a human-readable report."""
+    cache = SolverCache()
+    setup = _prepare_setup(args, scattered_hotspots_workload, cache)
+    floorplan = setup.placement.floorplan
+    print(f"benchmark: {setup.netlist.name}, {setup.netlist.num_cells} cells")
+    print(f"baseline:  core {floorplan.core_width:.0f} x {floorplan.core_height:.0f} um, "
+          f"total power {setup.power.total() * 1e3:.1f} mW, "
+          f"peak rise {setup.thermal_map.peak_rise:.2f} K, "
+          f"{len(setup.hotspots)} hotspot(s)")
+
+    start = time.perf_counter()
+    outcome = evaluate_strategy(
+        setup, args.strategy, args.overhead, analyze_timing=True, cache=cache
+    )
+    elapsed = time.perf_counter() - start
+    print(f"{outcome.strategy}: requested {outcome.requested_overhead * 100:.1f}% -> "
+          f"actual {outcome.actual_overhead * 100:.1f}% overhead, "
+          f"{outcome.inserted_rows} rows inserted")
+    print(f"peak rise {setup.thermal_map.peak_rise:.2f} K -> {outcome.peak_rise:.2f} K "
+          f"({outcome.temperature_reduction * 100:.1f}% reduction), "
+          f"timing overhead {outcome.timing_overhead * 100:+.2f}%")
+
+    result = CampaignResult(
+        records=records_from_outcomes(setup.workload.name, [outcome], elapsed),
+        metadata={
+            "command": "quickstart",
+            "benchmark": setup.netlist.name,
+            "baseline_peak_rise_k": setup.thermal_map.peak_rise,
+            "solver_cache": cache.stats().as_dict(),
+        },
+    )
+    _write_result(result, args, "quickstart")
+    return 0
+
+
+def run_sweep(args: argparse.Namespace) -> int:
+    """The Figure-6 (strategy x overhead) grid via the campaign runner."""
+    cache = SolverCache()
+    setup = _prepare_setup(args, scattered_hotspots_workload, cache)
+    campaign = Campaign(
+        setup,
+        strategies=tuple(args.strategies),
+        overheads=tuple(args.overheads),
+        analyze_timing=args.timing,
+        cache=cache,
+        name="figure6-sweep",
+    )
+    result = campaign.run(max_workers=args.jobs)
+    result.metadata.update({
+        "command": "sweep",
+        "benchmark": setup.netlist.name,
+        "baseline_peak_rise_k": setup.thermal_map.peak_rise,
+    })
+    print(figure6_report(result.outcomes()))
+    stats = cache.stats()
+    print(f"{len(result.records)} points in {result.metadata['elapsed_s']:.2f}s "
+          f"(solver cache: {stats.hits} hits / {stats.misses} factorisations)")
+    _write_result(result, args, "figure6")
+    return 0
+
+
+def run_table1(args: argparse.Namespace) -> int:
+    """The Table-I concentrated-hotspot comparison (Default versus ERI)."""
+    cache = SolverCache()
+    setup = _prepare_setup(args, concentrated_hotspot_workload, cache)
+    start = time.perf_counter()
+    outcomes = concentrated_hotspot_table(
+        setup, row_counts=tuple(args.rows), analyze_timing=args.timing, cache=cache
+    )
+    elapsed = time.perf_counter() - start
+    result = CampaignResult(
+        records=records_from_outcomes(setup.workload.name, outcomes, elapsed),
+        metadata={
+            "command": "table1",
+            "benchmark": setup.netlist.name,
+            "row_counts": list(args.rows),
+            "baseline_peak_rise_k": setup.thermal_map.peak_rise,
+            "elapsed_s": elapsed,
+            "solver_cache": cache.stats().as_dict(),
+        },
+    )
+    print(table1_report(outcomes))
+    _write_result(result, args, "table1")
+    return 0
+
+
+# -- entry point -------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Post-placement temperature reduction (DATE 2010) "
+                    "experiment campaigns.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = subparsers.add_parser(
+        "quickstart", help="run one strategy/overhead point end to end",
+    )
+    _add_common_arguments(quickstart)
+    quickstart.add_argument(
+        "--strategy", default="eri", choices=("default", "eri", "hw"),
+        help="whitespace-allocation strategy (default: eri)",
+    )
+    quickstart.add_argument(
+        "--overhead", type=float, default=0.15,
+        help="requested area overhead fraction (default: 0.15)",
+    )
+    quickstart.set_defaults(handler=run_quickstart)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run the Figure-6 strategy x overhead campaign",
+    )
+    # Figure 6 is defined on the paper-sized benchmark; --small gives a
+    # fast approximation whose per-point differences sit in snapping noise.
+    _add_common_arguments(sweep, default_full=True)
+    sweep.add_argument(
+        "--strategies", nargs="+", default=["default", "eri", "hw"],
+        choices=("default", "eri", "hw"),
+        help="strategies to sweep (default: default eri hw)",
+    )
+    sweep.add_argument(
+        "--overheads", nargs="+", type=float, default=list(SWEEP_OVERHEADS),
+        help="area-overhead sweep points (default: 5%% to 30%%)",
+    )
+    sweep.add_argument(
+        "--timing", action="store_true",
+        help="also run static timing analysis per point (slower)",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker threads (default: one per CPU)",
+    )
+    sweep.set_defaults(handler=run_sweep)
+
+    table1 = subparsers.add_parser(
+        "table1", help="run the Table-I concentrated-hotspot comparison",
+    )
+    _add_common_arguments(table1, default_full=True)
+    table1.add_argument(
+        "--rows", nargs="+", type=int, default=[20, 40],
+        help="empty-row counts to insert (default: 20 40, as in the paper)",
+    )
+    table1.add_argument(
+        "--timing", action="store_true",
+        help="also run static timing analysis per point (slower)",
+    )
+    table1.set_defaults(handler=run_table1)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.INFO if args.verbose else logging.WARNING,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+    try:
+        return args.handler(args)
+    except ValueError as error:
+        # Domain validation (negative overheads, bad worker counts, ...)
+        # surfaces as a clean CLI error instead of a traceback.
+        print(f"repro {args.command}: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,17 +1,44 @@
-"""End-to-end experiment flow (place -> power -> thermal -> area management)."""
+"""End-to-end experiment flow (place -> power -> thermal -> area management).
 
+Single points are evaluated with :class:`ExperimentSetup` and
+:func:`evaluate_strategy`; grids of points are executed by the
+:class:`Campaign` runner, which shares one :class:`SolverCache` across all
+points and can fan them out over worker threads.
+"""
+
+from .cache import CacheStats, SolverCache, geometry_key, package_fingerprint
 from .experiment import (
+    DEFAULT_OVERHEADS,
+    DEFAULT_STRATEGIES,
     ExperimentSetup,
     StrategyOutcome,
     concentrated_hotspot_table,
     evaluate_strategy,
     sweep_overheads,
 )
+from .runner import (
+    Campaign,
+    CampaignPoint,
+    CampaignRecord,
+    CampaignResult,
+    records_from_outcomes,
+)
 
 __all__ = [
+    "CacheStats",
+    "SolverCache",
+    "geometry_key",
+    "package_fingerprint",
     "ExperimentSetup",
     "StrategyOutcome",
     "concentrated_hotspot_table",
     "evaluate_strategy",
     "sweep_overheads",
+    "DEFAULT_OVERHEADS",
+    "DEFAULT_STRATEGIES",
+    "Campaign",
+    "CampaignPoint",
+    "CampaignRecord",
+    "CampaignResult",
+    "records_from_outcomes",
 ]

@@ -1,0 +1,224 @@
+"""Geometry-keyed cache of factorised thermal solvers.
+
+The dominant cost of one experiment point is the sparse LU factorisation of
+the thermal conductance matrix (roughly a quarter second for the paper's
+40 x 40 x 9 grid, versus milliseconds for the triangular solves).  The
+matrix depends only on the die geometry, the grid resolution and the
+package stack — not on the power map — so every placement that shares a die
+outline can share one :class:`~repro.thermal.solver.ThermalSolver`.
+
+That happens constantly during the paper's evaluation: the hotspot wrapper
+starts from the Default solution's outline at the same overhead, leakage
+feedback iterates on a fixed placement, and campaign grids revisit the same
+(strategy, overhead) core sizes across workloads.  :class:`SolverCache`
+memoises the factorisation behind a geometry key and is safe to share
+between the worker threads of a :class:`~repro.flow.runner.Campaign`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..placement import Placement
+from ..thermal import Package, ThermalGrid, ThermalSolver, default_package
+from ..thermal.solver import grid_for_placement
+
+
+def package_fingerprint(package: Package) -> Tuple:
+    """Hashable fingerprint of everything in a package that shapes the matrix.
+
+    Two packages with equal fingerprints produce identical conductance
+    matrices on the same grid; any change to the layer stack, the boundary
+    coefficients or the lumped package resistance changes the fingerprint
+    and therefore the cache key.
+    """
+    return (
+        tuple(
+            (layer.name, layer.thickness_um, layer.conductivity)
+            for layer in package.layers
+        ),
+        package.active_layer,
+        package.ambient_celsius,
+        package.bottom_htc,
+        package.top_htc,
+        package.lateral_htc,
+        package.package_resistance,
+    )
+
+
+#: Cache key: (die width, die height, nx, ny, keep_full_field, package).
+GeometryKey = Tuple[float, float, int, int, bool, Tuple]
+
+
+def geometry_key(grid: ThermalGrid, keep_full_field: bool = False) -> GeometryKey:
+    """The :class:`SolverCache` key for a thermal grid."""
+    return (
+        grid.width_um,
+        grid.height_um,
+        grid.nx,
+        grid.ny,
+        keep_full_field,
+        package_fingerprint(grid.package),
+    )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Cache counters at one point in time.
+
+    Attributes:
+        hits: Lookups answered from the cache.
+        misses: Lookups that had to factorise.
+        evictions: Entries dropped by the LRU bound.
+        size: Entries currently held.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for JSON metadata."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class SolverCache:
+    """Thread-safe LRU cache of factorised :class:`ThermalSolver` objects.
+
+    One instance is typically shared across a whole sweep or campaign; any
+    two experiment points whose transformed placements have the same die
+    outline (and grid resolution and package) then pay the LU factorisation
+    once between them.  Geometry changes — an ERI row insertion growing the
+    core, a Default relaxation re-placing at a larger outline — produce a
+    different key, so stale factorisations can never be returned.
+
+    Args:
+        maxsize: Maximum number of factorisations to retain (least recently
+            used evicted first).  ``None`` means unbounded; ``0`` disables
+            retention entirely, turning the cache into a plain solver
+            factory (useful for baseline timing comparisons).
+        **solver_kwargs: Extra keyword arguments forwarded to every
+            :class:`ThermalSolver` built by this cache (e.g. ``permc_spec``).
+    """
+
+    def __init__(self, maxsize: Optional[int] = None, **solver_kwargs) -> None:
+        if maxsize is not None and maxsize < 0:
+            raise ValueError("maxsize must be None or >= 0")
+        self.maxsize = maxsize
+        self._solver_kwargs = dict(solver_kwargs)
+        self._lock = threading.Lock()
+        self._solvers: "OrderedDict[GeometryKey, ThermalSolver]" = OrderedDict()
+        self._building: Dict[GeometryKey, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- lookup --------------------------------------------------------------
+
+    def solver(self, grid: ThermalGrid, keep_full_field: bool = False) -> ThermalSolver:
+        """Return the factorised solver for ``grid``, building it on a miss.
+
+        Concurrent requests for the same geometry block on a per-key lock so
+        the factorisation runs once; requests for different geometries
+        factorise in parallel.
+        """
+        key = geometry_key(grid, keep_full_field=keep_full_field)
+        with self._lock:
+            cached = self._solvers.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._solvers.move_to_end(key)
+                return cached
+            build_lock = self._building.setdefault(key, threading.Lock())
+
+        try:
+            with build_lock:
+                with self._lock:
+                    cached = self._solvers.get(key)
+                    if cached is not None:
+                        self._hits += 1
+                        self._solvers.move_to_end(key)
+                        return cached
+                solver = ThermalSolver(
+                    grid, keep_full_field=keep_full_field, **self._solver_kwargs
+                )
+                with self._lock:
+                    self._misses += 1
+                    if self.maxsize != 0:
+                        self._solvers[key] = solver
+                        self._solvers.move_to_end(key)
+                        while self.maxsize is not None and len(self._solvers) > self.maxsize:
+                            self._solvers.popitem(last=False)
+                            self._evictions += 1
+                return solver
+        finally:
+            # Always release the build slot, including when factorisation
+            # raises (e.g. a degenerate floorplan), so later requests for
+            # the same geometry neither deadlock on a stale lock nor leak
+            # one dict entry per failing key.
+            with self._lock:
+                self._building.pop(key, None)
+
+    def solver_for_placement(
+        self,
+        placement: Placement,
+        package: Optional[Package] = None,
+        nx: int = 40,
+        ny: int = 40,
+        keep_full_field: bool = False,
+    ) -> ThermalSolver:
+        """Solver for a placement's die outline (see :meth:`solver`)."""
+        pkg = package if package is not None else default_package()
+        grid = grid_for_placement(placement, package=pkg, nx=nx, ny=ny)
+        return self.solver(grid, keep_full_field=keep_full_field)
+
+    def __contains__(self, key: GeometryKey) -> bool:
+        with self._lock:
+            return key in self._solvers
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._solvers)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the cache so far."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that built a new factorisation so far."""
+        return self._misses
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._solvers),
+            )
+
+    def clear(self) -> None:
+        """Drop every retained factorisation (counters are kept)."""
+        with self._lock:
+            self._solvers.clear()

@@ -40,6 +40,13 @@ from ..power import PowerModel, PowerReport, build_power_map, estimate_activity
 from ..power.power_map import PowerMap
 from ..thermal import Package, ThermalMap, default_package, simulate_placement
 from ..timing import DelayModel, StaticTimingAnalyzer, TimingReport
+from .cache import SolverCache
+
+#: Overheads of the paper's Figure 6 sweep (fractions of the core area).
+DEFAULT_OVERHEADS = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40)
+
+#: The paper's three whitespace-allocation strategies.
+DEFAULT_STRATEGIES = ("default", "eri", "hw")
 
 
 @dataclass
@@ -89,6 +96,7 @@ class ExperimentSetup:
         seed: int = 2010,
         use_quadratic: bool = True,
         clock_period_ps: float = 1000.0,
+        cache: Optional[SolverCache] = None,
     ) -> "ExperimentSetup":
         """Run the baseline flow: place, estimate power, solve thermal, STA.
 
@@ -106,6 +114,8 @@ class ExperimentSetup:
             seed: Random seed for vector generation.
             use_quadratic: Use the quadratic global placer.
             clock_period_ps: Clock period for timing analysis (1 GHz).
+            cache: Optional :class:`SolverCache`; the baseline geometry's
+                factorisation is stored there for later reuse.
 
         Returns:
             The prepared :class:`ExperimentSetup`.
@@ -125,10 +135,12 @@ class ExperimentSetup:
         )
         power = PowerModel().estimate(netlist, activity)
 
-        thermal_map = simulate_placement(
-            placement, power, package=pkg, nx=grid_nx, ny=grid_ny
-        )
+        # One binning pass serves both the thermal solve and the stored map.
         power_map = build_power_map(placement, power, nx=grid_nx, ny=grid_ny)
+        thermal_map = simulate_placement(
+            placement, power, package=pkg, nx=grid_nx, ny=grid_ny,
+            cache=cache, power_map=power_map,
+        )
         hotspots = detect_hotspots(
             thermal_map, placement, power=power, threshold_fraction=hotspot_threshold
         )
@@ -193,6 +205,7 @@ def evaluate_strategy(
     analyze_timing: bool = True,
     hotspot_threshold: Optional[float] = None,
     wrapper_ring_um: float = 6.0,
+    cache: Optional[SolverCache] = None,
 ) -> StrategyOutcome:
     """Apply one strategy at one overhead and measure the outcome.
 
@@ -203,6 +216,10 @@ def evaluate_strategy(
         analyze_timing: Re-run STA on the transformed placement.
         hotspot_threshold: Optional override of the detection threshold.
         wrapper_ring_um: Whitespace ring width for the hotspot wrapper.
+        cache: Optional :class:`SolverCache` shared across evaluations;
+            points whose transformed placements share a die outline (e.g.
+            the hotspot wrapper reuses the Default outline at the same
+            overhead) then share one factorisation.
 
     Returns:
         The measured :class:`StrategyOutcome`.
@@ -223,6 +240,7 @@ def evaluate_strategy(
         package=setup.package,
         nx=setup.grid_nx,
         ny=setup.grid_ny,
+        cache=cache,
     )
 
     timing_overhead_value: Optional[float] = None
@@ -252,11 +270,16 @@ def evaluate_strategy(
 
 def sweep_overheads(
     setup: ExperimentSetup,
-    overheads: Sequence[float] = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40),
-    strategies: Sequence[str] = ("default", "eri", "hw"),
+    overheads: Sequence[float] = DEFAULT_OVERHEADS,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
     analyze_timing: bool = False,
+    cache: Optional[SolverCache] = None,
 ) -> List[StrategyOutcome]:
     """Reproduce Figure 6: reduction versus overhead for every strategy.
+
+    All points share one :class:`SolverCache`, so die outlines revisited
+    across the sweep (the hotspot wrapper reuses the Default outline at
+    each overhead) are factorised only once.
 
     Args:
         setup: The prepared experiment baseline (scattered-hotspot workload
@@ -264,16 +287,19 @@ def sweep_overheads(
         overheads: Area-overhead sweep points.
         strategies: Strategies to evaluate.
         analyze_timing: Also compute the timing overhead per point (slower).
+        cache: Solver cache to share; a fresh one is created when omitted.
 
     Returns:
         One :class:`StrategyOutcome` per (strategy, overhead) pair.
     """
+    shared_cache = cache if cache is not None else SolverCache()
     outcomes: List[StrategyOutcome] = []
     for strategy in strategies:
         for overhead in overheads:
             outcomes.append(
                 evaluate_strategy(
-                    setup, strategy, overhead, analyze_timing=analyze_timing
+                    setup, strategy, overhead,
+                    analyze_timing=analyze_timing, cache=shared_cache,
                 )
             )
     return outcomes
@@ -283,6 +309,7 @@ def concentrated_hotspot_table(
     setup: ExperimentSetup,
     row_counts: Sequence[int] = (20, 40),
     analyze_timing: bool = False,
+    cache: Optional[SolverCache] = None,
 ) -> List[StrategyOutcome]:
     """Reproduce Table I: Default versus ERI on a concentrated hotspot.
 
@@ -295,25 +322,30 @@ def concentrated_hotspot_table(
         setup: Baseline prepared with the concentrated-hotspot workload.
         row_counts: Numbers of rows to insert (paper: 20 and 40).
         analyze_timing: Also compute timing overheads.
+        cache: Solver cache to share; a fresh one is created when omitted.
 
     Returns:
         Outcomes ordered as in the paper's table: all Default rows first,
         then the ERI rows.
     """
+    shared_cache = cache if cache is not None else SolverCache()
     base_rows = setup.placement.floorplan.num_rows
     overheads = [count / base_rows for count in row_counts]
 
     outcomes: List[StrategyOutcome] = []
     for overhead in overheads:
         outcomes.append(
-            evaluate_strategy(setup, "default", overhead, analyze_timing=analyze_timing)
+            evaluate_strategy(
+                setup, "default", overhead,
+                analyze_timing=analyze_timing, cache=shared_cache,
+            )
         )
 
     for count, overhead in zip(row_counts, overheads):
         eri = apply_empty_row_insertion(setup.placement, setup.hotspots, num_rows=count)
         new_map = simulate_placement(
             eri.placement, setup.power, package=setup.package,
-            nx=setup.grid_nx, ny=setup.grid_ny,
+            nx=setup.grid_nx, ny=setup.grid_ny, cache=shared_cache,
         )
         timing_overhead_value: Optional[float] = None
         if analyze_timing:

@@ -1,0 +1,336 @@
+"""Experiment campaign runner: (workload x strategy x overhead) grids.
+
+One figure of the paper is a grid of experiment points — Figure 6 sweeps
+three strategies over eight overheads, Table I pairs Default and ERI rows.
+:class:`Campaign` executes such a grid as a unit: every point is one
+:func:`~repro.flow.experiment.evaluate_strategy` call, all points share one
+:class:`~repro.flow.cache.SolverCache` (so die outlines revisited by
+different points are factorised once), and the grid can be executed by a
+thread pool — the sparse factorisations and triangular solves release the
+GIL inside SciPy, so thermal-bound campaigns scale with cores.
+
+Results are deterministic: records are returned in grid order (workload,
+then strategy, then overhead) regardless of worker scheduling, and every
+record carries the full :class:`~repro.flow.experiment.StrategyOutcome`
+plus its wall-clock cost.  :class:`CampaignResult` persists to JSON or CSV
+and round-trips back, which is what the ``repro`` command line uses to
+write figure/table data to disk.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import logging
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from .cache import SolverCache
+from .experiment import (
+    DEFAULT_OVERHEADS,
+    DEFAULT_STRATEGIES,
+    ExperimentSetup,
+    StrategyOutcome,
+    evaluate_strategy,
+)
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One cell of the campaign grid.
+
+    Attributes:
+        workload: Name of the workload/setup the point runs against.
+        strategy: Whitespace-allocation strategy (``default``/``eri``/``hw``).
+        overhead: Requested area overhead fraction.
+    """
+
+    workload: str
+    strategy: str
+    overhead: float
+
+
+@dataclass
+class CampaignRecord:
+    """One executed campaign point.
+
+    Attributes:
+        point: The grid cell that was run.
+        outcome: The measured :class:`StrategyOutcome`.
+        elapsed_s: Wall-clock seconds spent evaluating the point.
+    """
+
+    point: CampaignPoint
+    outcome: StrategyOutcome
+    elapsed_s: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat dict form (used for both JSON and CSV rows)."""
+        row: Dict[str, object] = {"workload": self.point.workload}
+        row.update(asdict(self.outcome))
+        row["elapsed_s"] = self.elapsed_s
+        return row
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, object]) -> "CampaignRecord":
+        """Inverse of :meth:`to_dict`."""
+        outcome_fields = {f.name for f in fields(StrategyOutcome)}
+        outcome = StrategyOutcome(
+            **{k: v for k, v in row.items() if k in outcome_fields}
+        )
+        point = CampaignPoint(
+            workload=str(row["workload"]),
+            strategy=outcome.strategy,
+            overhead=outcome.requested_overhead,
+        )
+        return cls(point=point, outcome=outcome, elapsed_s=float(row.get("elapsed_s", 0.0)))
+
+
+@dataclass
+class CampaignResult:
+    """Ordered records of one campaign run plus run-level metadata.
+
+    Attributes:
+        records: One record per grid point, in grid order.
+        metadata: Run-level facts (grid shape, elapsed time, cache stats).
+    """
+
+    records: List[CampaignRecord]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def outcomes(self, workload: Optional[str] = None) -> List[StrategyOutcome]:
+        """The outcomes, optionally restricted to one workload."""
+        return [
+            record.outcome
+            for record in self.records
+            if workload is None or record.point.workload == workload
+        ]
+
+    def find(
+        self, strategy: str, overhead: float, workload: Optional[str] = None
+    ) -> Optional[CampaignRecord]:
+        """The record of one grid cell, or ``None`` when absent."""
+        for record in self.records:
+            if (
+                record.point.strategy == strategy
+                and abs(record.point.overhead - overhead) < 1e-12
+                and (workload is None or record.point.workload == workload)
+            ):
+                return record
+        return None
+
+    def workloads(self) -> List[str]:
+        """Workload names present, in first-seen order."""
+        seen: List[str] = []
+        for record in self.records:
+            if record.point.workload not in seen:
+                seen.append(record.point.workload)
+        return seen
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_json(self, path: Union[str, Path]) -> Path:
+        """Write the result (metadata + flat records) as JSON.
+
+        Returns:
+            The written path.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "metadata": self.metadata,
+            "records": [record.to_dict() for record in self.records],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+        return path
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "CampaignResult":
+        """Load a result previously written by :meth:`to_json`."""
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            records=[CampaignRecord.from_dict(row) for row in payload["records"]],
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write the records as a flat CSV table.
+
+        Returns:
+            The written path.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        rows = [record.to_dict() for record in self.records]
+        columns = list(rows[0].keys()) if rows else ["workload"]
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(rows)
+        return path
+
+
+def records_from_outcomes(
+    workload: str,
+    outcomes: Sequence[StrategyOutcome],
+    elapsed_s: float = 0.0,
+) -> List[CampaignRecord]:
+    """Wrap plain outcomes (e.g. Table I rows) as campaign records.
+
+    Args:
+        workload: Workload name to attach to every record.
+        outcomes: The outcomes to wrap.
+        elapsed_s: Total wall-clock time, split evenly across the records.
+
+    Returns:
+        One :class:`CampaignRecord` per outcome, in the given order.
+    """
+    per_point = elapsed_s / len(outcomes) if outcomes else 0.0
+    return [
+        CampaignRecord(
+            point=CampaignPoint(
+                workload=workload,
+                strategy=outcome.strategy,
+                overhead=outcome.requested_overhead,
+            ),
+            outcome=outcome,
+            elapsed_s=per_point,
+        )
+        for outcome in outcomes
+    ]
+
+
+class Campaign:
+    """A deterministic (workload x strategy x overhead) experiment grid.
+
+    Args:
+        setups: Prepared baselines, keyed by workload name — or a single
+            :class:`ExperimentSetup`, keyed by its workload's name.
+        strategies: Strategies to evaluate at every overhead.
+        overheads: Requested area-overhead sweep points.
+        analyze_timing: Also run STA per point (slower).
+        cache: Solver cache shared by all points; a fresh unbounded
+            :class:`SolverCache` is created when omitted.
+        name: Campaign name recorded in the result metadata.
+    """
+
+    def __init__(
+        self,
+        setups: Union[ExperimentSetup, Mapping[str, ExperimentSetup]],
+        strategies: Sequence[str] = DEFAULT_STRATEGIES,
+        overheads: Sequence[float] = DEFAULT_OVERHEADS,
+        analyze_timing: bool = False,
+        cache: Optional[SolverCache] = None,
+        name: str = "campaign",
+    ) -> None:
+        if isinstance(setups, ExperimentSetup):
+            setups = {setups.workload.name: setups}
+        if not setups:
+            raise ValueError("campaign requires at least one setup")
+        self.setups: Dict[str, ExperimentSetup] = dict(setups)
+        self.strategies = tuple(strategies)
+        self.overheads = tuple(overheads)
+        self.analyze_timing = analyze_timing
+        self.cache = cache if cache is not None else SolverCache()
+        self.name = name
+
+    @property
+    def points(self) -> List[CampaignPoint]:
+        """The grid cells in canonical (workload, strategy, overhead) order."""
+        return [
+            CampaignPoint(workload=workload, strategy=strategy, overhead=overhead)
+            for workload in self.setups
+            for strategy in self.strategies
+            for overhead in self.overheads
+        ]
+
+    def __len__(self) -> int:
+        return len(self.setups) * len(self.strategies) * len(self.overheads)
+
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, index: int, total: int, point: CampaignPoint) -> CampaignRecord:
+        start = time.perf_counter()
+        outcome = evaluate_strategy(
+            self.setups[point.workload],
+            point.strategy,
+            point.overhead,
+            analyze_timing=self.analyze_timing,
+            cache=self.cache,
+        )
+        elapsed = time.perf_counter() - start
+        logger.info(
+            "[%d/%d] %s %s @ %.1f%%: reduction %.2f%% in %.2fs",
+            index + 1,
+            total,
+            point.workload,
+            point.strategy,
+            point.overhead * 100.0,
+            outcome.temperature_reduction * 100.0,
+            elapsed,
+        )
+        return CampaignRecord(point=point, outcome=outcome, elapsed_s=elapsed)
+
+    def run(self, max_workers: Optional[int] = None) -> CampaignResult:
+        """Execute every grid point and collect the records in grid order.
+
+        Args:
+            max_workers: Worker threads; ``1`` forces serial execution and
+                ``None`` sizes the pool to the machine (one thread per CPU,
+                at most one per point).  Records are returned in grid order
+                either way, and — because the shared solver cache is keyed
+                on exact geometry — parallel runs produce bitwise-identical
+                outcomes to serial ones.
+
+        Returns:
+            The :class:`CampaignResult`.
+        """
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        points = self.points
+        total = len(points)
+        if max_workers is None:
+            max_workers = max(1, min(total, os.cpu_count() or 1))
+        start = time.perf_counter()
+        logger.info(
+            "campaign %r: %d points (%d workload(s) x %d strategies x %d overheads)",
+            self.name, total, len(self.setups), len(self.strategies), len(self.overheads),
+        )
+
+        records: List[Optional[CampaignRecord]] = [None] * total
+        if max_workers == 1 or total <= 1:
+            for index, point in enumerate(points):
+                records[index] = self._evaluate(index, total, point)
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = {
+                    pool.submit(self._evaluate, index, total, point): index
+                    for index, point in enumerate(points)
+                }
+                for future, index in futures.items():
+                    records[index] = future.result()
+
+        elapsed = time.perf_counter() - start
+        logger.info("campaign %r: finished in %.2fs", self.name, elapsed)
+        # A worker failure re-raises out of future.result() above, so every
+        # slot must be filled by now; a hole would mean a scheduling bug.
+        missing = [points[i] for i, r in enumerate(records) if r is None]
+        if missing:
+            raise RuntimeError(f"campaign left {len(missing)} points unevaluated: {missing}")
+        metadata: Dict[str, object] = {
+            "name": self.name,
+            "workloads": list(self.setups),
+            "strategies": list(self.strategies),
+            "overheads": list(self.overheads),
+            "analyze_timing": self.analyze_timing,
+            "num_points": total,
+            "elapsed_s": elapsed,
+            "solver_cache": self.cache.stats().as_dict(),
+        }
+        return CampaignResult(records=list(records), metadata=metadata)

@@ -56,7 +56,8 @@ class CellInstance:
     uses it to distinguish "hot" cells from bystander cells.
     """
 
-    __slots__ = ("name", "master", "pins", "x", "y", "row", "unit", "fixed")
+    __slots__ = ("name", "master", "pins", "x", "y", "row", "unit", "fixed",
+                 "width", "area")
 
     def __init__(self, name: str, master: MasterCell, unit: str = "") -> None:
         self.name = name
@@ -71,23 +72,18 @@ class CellInstance:
         self.row: Optional[int] = None
         self.unit = unit
         self.fixed = False
+        # Geometry is bound once at construction: width/area are read in the
+        # innermost placement loops (row packing, gap search, binning), where
+        # the master-cell property chain would dominate the profile.
+        self.width: float = master.width_um
+        self.area: float = master.area_um2
 
     # -- geometry -----------------------------------------------------------
-
-    @property
-    def width(self) -> float:
-        """Cell width in micrometres."""
-        return self.master.width_um
 
     @property
     def height(self) -> float:
         """Cell height in micrometres."""
         return ROW_HEIGHT
-
-    @property
-    def area(self) -> float:
-        """Cell area in square micrometres."""
-        return self.master.area_um2
 
     @property
     def is_placed(self) -> bool:

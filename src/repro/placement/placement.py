@@ -325,29 +325,51 @@ class Placement:
         """
         failed: List[CellInstance] = []
         row_height = self.floorplan.row_height
+
+        # ``rect`` is fixed for the whole call and the sub-interval chosen by
+        # :meth:`_gap_outside_rect` is always the longest one, so each row's
+        # usable intervals can be computed once and reused for every cell,
+        # invalidated only when a relocation mutates that row.  A cell fits a
+        # gap exactly when the gap's longest usable sub-interval is at least
+        # as wide, so the per-cell test collapses to one comparison.
+        usable_cache: dict = {}
+
+        def usable_intervals(row_index: int) -> List[Tuple[float, float]]:
+            cached = usable_cache.get(row_index)
+            if cached is None:
+                row = self.rows[row_index]
+                row_mid_y = row.y + row_height / 2.0
+                cached = []
+                for gap_start, gap_end in row.gaps():
+                    interval = self._gap_outside_rect(
+                        gap_start, gap_end, rect, row_mid_y, 0.0
+                    )
+                    if interval is not None and interval[1] > interval[0]:
+                        cached.append(interval)
+                usable_cache[row_index] = cached
+            return cached
+
         for cell in sorted(cells, key=lambda c: -c.width):
             origin_x = cell.x if cell.x is not None else 0.0
             origin_y = cell.y if cell.y is not None else 0.0
             origin_row = self.floorplan.row_of_y(origin_y)
+            width = cell.width
             placed = False
             # Search rows by increasing distance from the original row.
             for offset in range(0, len(self.rows)):
                 for row_index in {origin_row - offset, origin_row + offset}:
                     if row_index < 0 or row_index >= len(self.rows):
                         continue
-                    row = self.rows[row_index]
-                    row_mid_y = row.y + row_height / 2.0
                     if placed:
                         break
-                    for gap_start, gap_end in row.gaps():
-                        usable = self._gap_outside_rect(
-                            gap_start, gap_end, rect, row_mid_y, cell.width
-                        )
-                        if usable is None:
+                    for lo, hi in usable_intervals(row_index):
+                        if hi - lo < width:
                             continue
-                        x = min(max(origin_x, usable[0]), usable[1] - cell.width)
+                        row = self.rows[row_index]
+                        x = min(max(origin_x, lo), hi - width)
                         row.add(cell, x)
                         row.sort()
+                        usable_cache.pop(row_index, None)
                         placed = True
                         break
                 if placed:

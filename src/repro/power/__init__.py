@@ -9,7 +9,7 @@ from .power_model import (
     PowerModel,
     PowerReport,
 )
-from .power_map import PowerMap, build_power_map
+from .power_map import PowerMap, build_power_map, grid_bin_geometry, iter_cell_bins
 
 __all__ = [
     "VectorSet",
@@ -24,4 +24,6 @@ __all__ = [
     "PowerReport",
     "PowerMap",
     "build_power_map",
+    "grid_bin_geometry",
+    "iter_cell_bins",
 ]

@@ -11,7 +11,7 @@ network's active layer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -82,6 +82,70 @@ class PowerMap:
         return (x, y)
 
 
+def grid_bin_geometry(
+    placement: Placement,
+    nx: int = 40,
+    ny: int = 40,
+    over_die: bool = True,
+) -> Tuple[Tuple[float, float], float, float]:
+    """Geometry of the thermal-grid binning over a placement.
+
+    The single source of truth for how placement coordinates map onto the
+    ``nx`` x ``ny`` thermal grid; used by :func:`build_power_map` and by the
+    leakage-feedback loop in :mod:`repro.thermal.solver` so both always bin
+    cells identically.
+
+    Args:
+        placement: The placed design.
+        nx: Number of grid bins in x.
+        ny: Number of grid bins in y.
+        over_die: When ``True`` the grid spans the die (core plus margin),
+            matching the thermal model footprint; otherwise just the core.
+
+    Returns:
+        ``(origin, bin_width, bin_height)`` where ``origin`` is the ``(x, y)``
+        of the grid's lower-left corner, all in micrometres.
+    """
+    floorplan = placement.floorplan
+    if over_die:
+        origin = (-floorplan.die_margin, -floorplan.die_margin)
+        width, height = floorplan.die_width, floorplan.die_height
+    else:
+        origin = (0.0, 0.0)
+        width, height = floorplan.core_width, floorplan.core_height
+    return origin, width / nx, height / ny
+
+
+def iter_cell_bins(
+    placement: Placement,
+    nx: int = 40,
+    ny: int = 40,
+    over_die: bool = True,
+    include_fillers: bool = False,
+) -> Iterator[Tuple[object, int, int]]:
+    """Yield ``(cell, iy, ix)`` for every placed cell's grid bin.
+
+    Each cell is assigned to the bin containing its centre, clamped to the
+    grid (the paper's thermal-cell grouping).
+
+    Args:
+        placement: The placed design.
+        nx: Number of grid bins in x.
+        ny: Number of grid bins in y.
+        over_die: Bin over the die outline (see :func:`grid_bin_geometry`).
+        include_fillers: Also yield filler cells.
+
+    Yields:
+        ``(cell, iy, ix)`` tuples with clamped grid indices.
+    """
+    origin, bin_w, bin_h = grid_bin_geometry(placement, nx=nx, ny=ny, over_die=over_die)
+    for cell in placement.placed_cells(include_fillers=include_fillers):
+        cx, cy = cell.center
+        ix = min(max(int((cx - origin[0]) / bin_w), 0), nx - 1)
+        iy = min(max(int((cy - origin[1]) / bin_h), 0), ny - 1)
+        yield cell, iy, ix
+
+
 def build_power_map(
     placement: Placement,
     power: PowerReport,
@@ -106,27 +170,13 @@ def build_power_map(
     Returns:
         The :class:`PowerMap`.
     """
-    floorplan = placement.floorplan
-    if over_die:
-        origin = (-floorplan.die_margin, -floorplan.die_margin)
-        width, height = floorplan.die_width, floorplan.die_height
-    else:
-        origin = (0.0, 0.0)
-        width, height = floorplan.core_width, floorplan.core_height
+    origin, bin_w, bin_h = grid_bin_geometry(placement, nx=nx, ny=ny, over_die=over_die)
 
     grid = np.zeros((ny, nx), dtype=float)
-    bin_w = width / nx
-    bin_h = height / ny
-
-    for cell in placement.placed_cells(include_fillers=False):
+    for cell, iy, ix in iter_cell_bins(placement, nx=nx, ny=ny, over_die=over_die):
         cell_power = power.power_of(cell.name)
         if cell_power == 0.0:
             continue
-        cx, cy = cell.center
-        ix = int((cx - origin[0]) / bin_w)
-        iy = int((cy - origin[1]) / bin_h)
-        ix = min(max(ix, 0), nx - 1)
-        iy = min(max(iy, 0), ny - 1)
         grid[iy, ix] += cell_power
 
     return PowerMap(

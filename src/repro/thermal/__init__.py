@@ -11,7 +11,9 @@ from .grid import ThermalGrid
 from .network import NetworkElements, ThermalNetwork
 from .thermal_map import ThermalMap, map_from_solution
 from .solver import (
+    DEFAULT_PERMC_SPEC,
     ThermalSolver,
+    cell_temperatures,
     grid_for_placement,
     simulate_placement,
     simulate_with_leakage_feedback,
@@ -34,7 +36,9 @@ __all__ = [
     "ThermalNetwork",
     "ThermalMap",
     "map_from_solution",
+    "DEFAULT_PERMC_SPEC",
     "ThermalSolver",
+    "cell_temperatures",
     "grid_for_placement",
     "simulate_placement",
     "simulate_with_leakage_feedback",

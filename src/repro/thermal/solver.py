@@ -11,18 +11,27 @@ design plus a power report to a :class:`~repro.thermal.thermal_map.ThermalMap`
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 import scipy.sparse.linalg as spla
 
 from ..placement import Placement
-from ..power import PowerReport, build_power_map
+from ..power import PowerReport, build_power_map, iter_cell_bins
 from ..power.power_map import PowerMap
 from .grid import ThermalGrid
 from .network import ThermalNetwork
 from .package import Package, default_package
 from .thermal_map import ThermalMap, map_from_solution
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from ..flow.cache import SolverCache
+
+#: Fill-reducing column permutation used by default.  The conductance matrix
+#: is a symmetric 7-point stencil, for which SuperLU's ``MMD_AT_PLUS_A``
+#: ordering (with symmetric mode) roughly halves both the factorisation time
+#: and the fill-in compared to the generic COLAMD default.
+DEFAULT_PERMC_SPEC = "MMD_AT_PLUS_A"
 
 
 class ThermalSolver:
@@ -31,16 +40,41 @@ class ThermalSolver:
     Args:
         grid: Thermal mesh.
         keep_full_field: Store the full 3-D temperature field on results.
+        permc_spec: SuperLU column-permutation strategy.  The default
+            exploits the matrix symmetry; pass ``"COLAMD"`` with
+            ``symmetric_mode=False`` for SuperLU's generic behaviour.
+        symmetric_mode: Enable SuperLU's symmetric mode (valid for this
+            matrix, which is symmetric positive definite).
     """
 
-    def __init__(self, grid: ThermalGrid, keep_full_field: bool = False) -> None:
+    def __init__(
+        self,
+        grid: ThermalGrid,
+        keep_full_field: bool = False,
+        permc_spec: str = DEFAULT_PERMC_SPEC,
+        symmetric_mode: bool = True,
+    ) -> None:
         self.grid = grid
         self.network = ThermalNetwork(grid)
         self.keep_full_field = keep_full_field
         # Factorise the grid-only matrix (pure 7-point stencil); the lumped
         # package node would add a dense row, so it is eliminated via a
-        # Sherman-Morrison rank-1 correction in :meth:`solve`.
-        self._factorized = spla.splu(self.network.grid_matrix.tocsc())
+        # Sherman-Morrison rank-1 correction in :meth:`solve`.  In symmetric
+        # mode the pivot threshold is dropped to keep SuperLU on the
+        # diagonal, as the matrix is a diagonally dominant SPD M-matrix;
+        # off-diagonal pivoting would only re-introduce fill the symmetric
+        # ordering avoids.
+        if symmetric_mode:
+            splu_kwargs = dict(
+                diag_pivot_thresh=0.0, options=dict(SymmetricMode=True)
+            )
+        else:
+            splu_kwargs = dict(options=dict())
+        self._factorized = spla.splu(
+            self.network.grid_matrix.tocsc(),
+            permc_spec=permc_spec,
+            **splu_kwargs,
+        )
         self._package_solve: np.ndarray | None = None
         if self.network.package_node is not None:
             coupling = self.network.package_coupling
@@ -104,6 +138,9 @@ def simulate_placement(
     nx: int = 40,
     ny: int = 40,
     keep_full_field: bool = False,
+    solver: Optional[ThermalSolver] = None,
+    cache: "Optional[SolverCache]" = None,
+    power_map: Optional[PowerMap] = None,
 ) -> ThermalMap:
     """Run the full thermal-simulation step on a placed, power-annotated design.
 
@@ -119,14 +156,56 @@ def simulate_placement(
         nx: Grid cells in x.
         ny: Grid cells in y.
         keep_full_field: Keep the 3-D temperature field on the result.
+        solver: Pre-built :class:`ThermalSolver` for this placement's die
+            geometry; skips grid construction and factorisation entirely.
+        cache: A :class:`repro.flow.cache.SolverCache`; the factorisation is
+            fetched from (or inserted into) the cache, so repeated calls on
+            the same die geometry — as in an area-overhead sweep — pay the
+            LU factorisation only once.  Ignored when ``solver`` is given.
+        power_map: Pre-binned power map (must match the grid resolution);
+            skips the cell-to-bin accumulation.
 
     Returns:
         The active-layer :class:`ThermalMap`.
     """
-    grid = grid_for_placement(placement, package=package, nx=nx, ny=ny)
-    power_map = build_power_map(placement, power, nx=nx, ny=ny, over_die=True)
-    solver = ThermalSolver(grid, keep_full_field=keep_full_field)
+    if solver is None:
+        if cache is not None:
+            solver = cache.solver_for_placement(
+                placement, package=package, nx=nx, ny=ny,
+                keep_full_field=keep_full_field,
+            )
+        else:
+            grid = grid_for_placement(placement, package=package, nx=nx, ny=ny)
+            solver = ThermalSolver(grid, keep_full_field=keep_full_field)
+    if power_map is None:
+        power_map = build_power_map(placement, power, nx=nx, ny=ny, over_die=True)
     return solver.solve_power_map(power_map)
+
+
+def cell_temperatures(
+    placement: Placement,
+    thermal_map: ThermalMap,
+    nx: int = 40,
+    ny: int = 40,
+) -> dict:
+    """Per-cell temperatures read off a thermal map.
+
+    Each cell is looked up in the grid bin containing its centre, using the
+    same binning as :func:`~repro.power.power_map.build_power_map`.
+
+    Args:
+        placement: The placed design.
+        thermal_map: An active-layer thermal map at ``(ny, nx)`` resolution.
+        nx: Grid cells in x.
+        ny: Grid cells in y.
+
+    Returns:
+        Mapping of cell name to its bin temperature in Celsius.
+    """
+    return {
+        cell.name: float(thermal_map.temperatures[iy, ix])
+        for cell, iy, ix in iter_cell_bins(placement, nx=nx, ny=ny, over_die=True)
+    }
 
 
 def simulate_with_leakage_feedback(
@@ -137,12 +216,15 @@ def simulate_with_leakage_feedback(
     nx: int = 40,
     ny: int = 40,
     iterations: int = 3,
+    cache: "Optional[SolverCache]" = None,
 ) -> ThermalMap:
     """Thermal simulation with leakage/temperature feedback iterations.
 
     The positive feedback between leakage power and temperature mentioned
     in the paper's introduction: each iteration re-evaluates leakage at the
-    per-cell temperatures of the previous thermal solve.
+    per-cell temperatures of the previous thermal solve.  The die geometry
+    never changes across iterations, so one factorised solver is reused for
+    the whole loop.
 
     Args:
         placement: The placed design.
@@ -152,6 +234,8 @@ def simulate_with_leakage_feedback(
         nx: Grid cells in x.
         ny: Grid cells in y.
         iterations: Number of power/thermal iterations (>= 1).
+        cache: Optional :class:`repro.flow.cache.SolverCache` to share the
+            factorisation with other simulations of the same geometry.
 
     Returns:
         The converged :class:`ThermalMap`.
@@ -159,20 +243,18 @@ def simulate_with_leakage_feedback(
     if iterations < 1:
         raise ValueError("iterations must be at least 1")
     netlist = placement.netlist
+    if cache is not None:
+        solver = cache.solver_for_placement(placement, package=package, nx=nx, ny=ny)
+    else:
+        solver = ThermalSolver(grid_for_placement(placement, package=package, nx=nx, ny=ny))
     power = power_model.estimate(netlist, activity)
-    thermal_map = simulate_placement(placement, power, package=package, nx=nx, ny=ny)
+    thermal_map = simulate_placement(
+        placement, power, package=package, nx=nx, ny=ny, solver=solver
+    )
     for _ in range(iterations - 1):
-        cell_temps = {}
-        grid = grid_for_placement(placement, package=package, nx=nx, ny=ny)
-        origin_x = -placement.floorplan.die_margin
-        origin_y = -placement.floorplan.die_margin
-        bin_w = grid.width_um / nx
-        bin_h = grid.height_um / ny
-        for cell in placement.placed_cells(include_fillers=False):
-            cx, cy = cell.center
-            ix = min(max(int((cx - origin_x) / bin_w), 0), nx - 1)
-            iy = min(max(int((cy - origin_y) / bin_h), 0), ny - 1)
-            cell_temps[cell.name] = float(thermal_map.temperatures[iy, ix])
+        cell_temps = cell_temperatures(placement, thermal_map, nx=nx, ny=ny)
         power = power_model.estimate_with_temperature_map(netlist, activity, cell_temps)
-        thermal_map = simulate_placement(placement, power, package=package, nx=nx, ny=ny)
+        thermal_map = simulate_placement(
+            placement, power, package=package, nx=nx, ny=ny, solver=solver
+        )
     return thermal_map
