@@ -16,7 +16,7 @@ per-unit activity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..netlist import CellLibrary, Netlist, default_library
 from .arith import (

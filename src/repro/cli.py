@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
-Three subcommands drive the campaign runner end to end and persist results
+Four subcommands drive the campaign runner end to end and persist results
 to disk:
 
 ``quickstart``
@@ -16,8 +16,16 @@ to disk:
     The Table-I concentrated-hotspot comparison (Default versus ERI at
     matched row counts), written as JSON (and optionally CSV).
 
-Every run prints the corresponding plain-text report and writes machine-
-readable records under ``--out`` (default ``results/``).
+``strategies``
+    List the registered whitespace strategies with their defaults and
+    tunable parameters.
+
+Strategy arguments accept any registered spec — a name (``eri``), a
+parameterized spec (``hw:ring_um=8,max_source_units=3``), or a comma-
+separated list of specs — and are validated against the registry before
+any expensive work starts; a typo exits with code 2 and a "did you mean"
+suggestion.  Every run prints the corresponding plain-text report and
+writes machine-readable records under ``--out`` (default ``results/``).
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from .bench import (
     scattered_hotspots_workload,
     small_synthetic_circuit,
 )
+from .core import describe_strategies, resolve_strategy, split_spec_list
 from .flow import (
     Campaign,
     CampaignResult,
@@ -62,6 +71,43 @@ def _positive_int(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {text}")
     return value
+
+
+def _strategy_spec(text: str) -> str:
+    """Argparse type for a single strategy spec, validated up front.
+
+    Resolution against the registry happens at parse time, so an unknown
+    name or bad parameter exits with code 2 (argparse's usage error) and a
+    "did you mean" suggestion before any placement or solve starts.
+    """
+    try:
+        return resolve_strategy(text).spec
+    except (TypeError, ValueError) as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _strategy_spec_list(text: str) -> List[str]:
+    """Argparse type for a comma-separated list of strategy specs.
+
+    Commas inside a spec's parameter list (``hw:ring_um=8,max_source_units=3``)
+    are kept with their spec; every resulting spec is validated as in
+    :func:`_strategy_spec`.
+    """
+    specs = [_strategy_spec(spec) for spec in split_spec_list(text)]
+    if not specs:
+        raise argparse.ArgumentTypeError(f"no strategy specs in {text!r}")
+    return specs
+
+
+def _flatten_strategies(values: Sequence) -> List[str]:
+    """Flatten argparse ``--strategies`` values (lists or bare defaults)."""
+    flat: List[str] = []
+    for value in values:
+        if isinstance(value, str):
+            flat.append(value)
+        else:
+            flat.extend(value)
+    return flat
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser, default_full: bool = False) -> None:
@@ -182,7 +228,7 @@ def run_sweep(args: argparse.Namespace) -> int:
     setup = _prepare_setup(args, scattered_hotspots_workload, cache)
     campaign = Campaign(
         setup,
-        strategies=tuple(args.strategies),
+        strategies=_flatten_strategies(args.strategies),
         overheads=tuple(args.overheads),
         analyze_timing=args.timing,
         cache=cache,
@@ -227,6 +273,28 @@ def run_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_strategies(args: argparse.Namespace) -> int:
+    """List the registered whitespace strategies and their parameters."""
+    rows = describe_strategies()
+    name_width = max(len(str(row["name"])) for row in rows)
+    print("registered whitespace strategies:")
+    for row in rows:
+        params = row["params"] or {}
+        rendered = (
+            ", ".join(f"{key}={value}" for key, value in sorted(params.items()))
+            or "-"
+        )
+        print(f"  {row['name']:<{name_width}}  "
+              f"threshold {row['default_hotspot_threshold']:.2f}  "
+              f"params: {rendered}")
+        if row["summary"]:
+            print(f"  {'':<{name_width}}  {row['summary']}")
+    print("\nspec grammar: NAME or NAME:key=value[,key=value...] "
+          "(e.g. hw:ring_um=8,max_source_units=3); every strategy also "
+          "accepts hotspot_threshold=FRACTION")
+    return 0
+
+
 # -- entry point -------------------------------------------------------------
 
 
@@ -244,8 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_arguments(quickstart)
     quickstart.add_argument(
-        "--strategy", default="eri", choices=("default", "eri", "hw"),
-        help="whitespace-allocation strategy (default: eri)",
+        "--strategy", default="eri", type=_strategy_spec, metavar="SPEC",
+        help="whitespace-allocation strategy spec, e.g. eri or "
+             "hw:ring_um=8 (default: eri; see 'repro strategies')",
     )
     quickstart.add_argument(
         "--overhead", type=float, default=0.15,
@@ -261,8 +330,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(sweep, default_full=True)
     sweep.add_argument(
         "--strategies", nargs="+", default=["default", "eri", "hw"],
-        choices=("default", "eri", "hw"),
-        help="strategies to sweep (default: default eri hw)",
+        type=_strategy_spec_list, metavar="SPEC",
+        help="strategy specs to sweep, space- or comma-separated; any "
+             "registered spec works, e.g. hybrid gradient:exponent=2 "
+             "(default: default eri hw; see 'repro strategies')",
     )
     sweep.add_argument(
         "--overheads", nargs="+", type=float, default=list(SWEEP_OVERHEADS),
@@ -291,6 +362,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run static timing analysis per point (slower)",
     )
     table1.set_defaults(handler=run_table1)
+
+    strategies = subparsers.add_parser(
+        "strategies", help="list the registered whitespace strategies",
+    )
+    strategies.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log while listing (accepted for symmetry; listing is instant)",
+    )
+    strategies.set_defaults(handler=run_strategies)
 
     return parser
 

@@ -7,39 +7,49 @@ with better thermal properties."
 
 :class:`AreaManager` is that tool: it takes the placed design, the cell-by-
 cell power report and the thermal map, detects the hotspots, and applies
-the requested strategy — ``default`` (uniform utilization relaxation),
-``eri`` (empty row insertion) or ``hw`` (hotspot wrapper, applied on top of
-the default solution, as in the paper's Figure 6).
+the requested strategy.  Strategies are plugins resolved through
+:mod:`repro.core.strategy` — the built-ins are ``default`` (uniform
+utilization relaxation), ``eri`` (empty row insertion), ``hw`` (hotspot
+wrapper on top of the Default solution, as in the paper's Figure 6),
+``hybrid`` (ERI then wrapper) and ``gradient`` (row-temperature-
+proportional whitespace) — and anything registered via
+:func:`~repro.core.strategy.register_strategy` plugs in the same way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from ..placement import Placement
 from ..power import PowerReport
 from ..thermal import Package, ThermalMap, simulate_placement
-from .default_spread import DefaultSpreadResult, apply_default_spread
-from .empty_row import EmptyRowInsertionResult, apply_empty_row_insertion, rows_for_overhead
-from .hotspot import Hotspot, detect_hotspots
-from .wrapper import HotspotWrapperResult, apply_hotspot_wrapper
+from .builtin_strategies import ERI_HOTSPOT_THRESHOLD, HW_HOTSPOT_THRESHOLD
+from .hotspot import Hotspot, detect_hotspots, project_hotspots
+from .strategy import (
+    StrategyContext,
+    StrategySpec,
+    WhitespaceStrategy,
+    available_strategies,
+    resolve_strategy,
+)
 
-
-#: Default hotspot-detection threshold for empty row insertion: the method
-#: acts on "the area around a given hotspot", so a generous fraction of the
-#: warm region is included.
-ERI_HOTSPOT_THRESHOLD = 0.5
-
-#: Default hotspot-detection threshold for the hotspot wrapper: the method
-#: is "particularly useful for small concentrated hotspots", so only the
-#: tight core of each hotspot is wrapped.
-HW_HOTSPOT_THRESHOLD = 0.75
+_DEPRECATION_MESSAGE = (
+    "the Strategy enum is deprecated; pass a strategy spec string such as "
+    "'eri' or 'hw:ring_um=8' (see repro.core.strategy.resolve_strategy)"
+)
 
 
 class Strategy(str, Enum):
-    """Whitespace-allocation strategies."""
+    """Deprecated closed enum of the paper's three strategies.
+
+    Kept as a thin shim so old call sites keep working: members are plain
+    strings, so anywhere a spec is accepted a member resolves through the
+    open registry.  New strategies (``hybrid``, ``gradient``, third-party
+    plugins) are *not* members — address them by spec string instead.
+    """
 
     DEFAULT = "default"
     EMPTY_ROW_INSERTION = "eri"
@@ -47,16 +57,46 @@ class Strategy(str, Enum):
 
     @classmethod
     def parse(cls, value: "Strategy | str") -> "Strategy":
-        """Accept either a :class:`Strategy` or its string value."""
+        """Accept either a :class:`Strategy` or its string value.
+
+        .. deprecated:: use :func:`repro.core.strategy.resolve_strategy`,
+           which also understands parameterized specs and registered
+           third-party strategies.
+
+        Raises:
+            TypeError: If ``value`` is neither a str nor a Strategy.
+            ValueError: If the name is not a registered strategy, or is
+                registered but not representable as this closed enum.
+        """
+        warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
         if isinstance(value, Strategy):
             return value
+        if not isinstance(value, str):
+            raise TypeError(
+                f"strategy must be a str or Strategy, got {type(value).__name__}"
+            )
+        name = value.lower()
         try:
-            return cls(value.lower())
+            return cls(name)
         except ValueError:
+            registered = available_strategies()
+            if name in registered:
+                raise ValueError(
+                    f"strategy {value!r} is registered but has no Strategy enum "
+                    f"member; resolve it with repro.core.resolve_strategy instead"
+                ) from None
             raise ValueError(
-                f"unknown strategy {value!r}; expected one of "
-                f"{[s.value for s in cls]}"
+                f"unknown strategy {value!r}; registered strategies: "
+                f"{', '.join(registered)}"
             ) from None
+
+
+def _as_enum_or_name(name: str) -> "Strategy | str":
+    """The enum member for builtin names, the plain name otherwise."""
+    try:
+        return Strategy(name)
+    except ValueError:
+        return name
 
 
 @dataclass
@@ -65,21 +105,29 @@ class AreaManagementConfig:
 
     Attributes:
         area_overhead: User-specified fractional area overhead.
-        strategy: Whitespace-allocation strategy.
+        strategy: Whitespace-allocation strategy spec — a registered name
+            (``"eri"``), a parameterized spec (``"hw:ring_um=8"``), a
+            mapping, a resolved :class:`WhitespaceStrategy`, or (deprecated)
+            a :class:`Strategy` member.  After construction this field
+            holds the :class:`Strategy` member for built-in names and the
+            plain name string otherwise; the resolved instance is
+            :attr:`strategy_impl`.
         hotspot_threshold: Fraction of the lateral temperature range above
             which a thermal cell belongs to a hotspot.  ``None`` (the
-            default) selects a per-strategy value: empty row insertion
-            targets the broader warm area around each hotspot
+            default) selects the strategy's own default: empty row
+            insertion targets the broader warm area around each hotspot
             (:data:`ERI_HOTSPOT_THRESHOLD`), while the hotspot wrapper needs
             tight, concentrated hotspots (:data:`HW_HOTSPOT_THRESHOLD`).
         max_hotspots: Only target the hottest N hotspots (``None`` = all).
-        wrapper_ring_um: Whitespace-ring width for the hotspot wrapper.
-        wrapper_max_source_units: Units treated as a hotspot's source.
+        wrapper_ring_um: Whitespace-ring width for the hotspot wrapper
+            (overridable per spec via the ``ring_um`` parameter).
+        wrapper_max_source_units: Units treated as a hotspot's source
+            (overridable per spec via ``max_source_units``).
         add_fillers: Fill created whitespace with dummy cells.
     """
 
     area_overhead: float = 0.15
-    strategy: Strategy = Strategy.EMPTY_ROW_INSERTION
+    strategy: Union[StrategySpec, Strategy] = "eri"
     hotspot_threshold: Optional[float] = None
     max_hotspots: Optional[int] = None
     wrapper_ring_um: float = 6.0
@@ -87,7 +135,19 @@ class AreaManagementConfig:
     add_fillers: bool = True
 
     def __post_init__(self) -> None:
-        self.strategy = Strategy.parse(self.strategy)
+        # Enum members are plain strings and resolve silently: the config
+        # itself stores the enum back for bare built-in names, so warning
+        # here would also fire on dataclasses.replace() round-trips the
+        # caller never earned.  The deprecation warning lives in
+        # Strategy.parse, the enum's own entry point.
+        self.strategy_impl: WhitespaceStrategy = resolve_strategy(self.strategy)
+        # The field keeps the full canonical spec when parameters are bound
+        # (so dataclasses.replace()/equality preserve them); bare built-in
+        # names stay enum members for backward compatibility.
+        if self.strategy_impl.overrides:
+            self.strategy = self.strategy_impl.spec
+        else:
+            self.strategy = _as_enum_or_name(self.strategy_impl.name)
         if self.area_overhead < 0.0:
             raise ValueError("area_overhead must be non-negative")
         if self.hotspot_threshold is not None and not 0.0 < self.hotspot_threshold <= 1.0:
@@ -98,9 +158,7 @@ class AreaManagementConfig:
         """The detection threshold, resolved per strategy when unset."""
         if self.hotspot_threshold is not None:
             return self.hotspot_threshold
-        if self.strategy is Strategy.HOTSPOT_WRAPPER:
-            return HW_HOTSPOT_THRESHOLD
-        return ERI_HOTSPOT_THRESHOLD
+        return self.strategy_impl.effective_hotspot_threshold()
 
 
 @dataclass
@@ -109,18 +167,19 @@ class AreaManagementResult:
 
     Attributes:
         placement: The new placement.
-        strategy: Strategy that produced it.
+        strategy: Strategy that produced it — the :class:`Strategy` member
+            for built-in names, the registered name string otherwise.
         hotspots: Hotspots detected on the input thermal map.
         requested_overhead: Overhead requested by the user.
         actual_overhead: Core-area overhead actually introduced (0.0 for the
             hotspot wrapper, which redistributes existing whitespace).
-        inserted_rows: Rows inserted (ERI only).
+        inserted_rows: Rows inserted (row-inserting strategies only).
         num_fillers: Filler cells inserted.
         details: The strategy-specific result object.
     """
 
     placement: Placement
-    strategy: Strategy
+    strategy: "Strategy | str"
     hotspots: List[Hotspot]
     requested_overhead: float
     actual_overhead: float
@@ -178,97 +237,30 @@ class AreaManager:
         spots = list(hotspots) if hotspots is not None else self.detect(
             placement, thermal_map, power
         )
-
-        if config.strategy is Strategy.DEFAULT:
-            default_result = apply_default_spread(
-                placement, config.area_overhead, add_fillers=config.add_fillers
-            )
-            return AreaManagementResult(
-                placement=default_result.placement,
-                strategy=config.strategy,
-                hotspots=spots,
-                requested_overhead=config.area_overhead,
-                actual_overhead=default_result.actual_overhead,
-                num_fillers=default_result.num_fillers,
-                details=default_result,
-            )
-
-        if config.strategy is Strategy.EMPTY_ROW_INSERTION:
-            eri_result = apply_empty_row_insertion(
-                placement,
-                spots,
-                area_overhead=config.area_overhead,
-                add_fillers=config.add_fillers,
-            )
-            return AreaManagementResult(
-                placement=eri_result.placement,
-                strategy=config.strategy,
-                hotspots=spots,
-                requested_overhead=config.area_overhead,
-                actual_overhead=eri_result.actual_overhead,
-                inserted_rows=eri_result.inserted_rows,
-                num_fillers=eri_result.num_fillers,
-                details=eri_result,
-            )
-
-        # Hotspot wrapper: start from the Default solution at the requested
-        # overhead (as in the paper's Figure 6), re-detect the hotspots on
-        # that placement's own thermal map, then wrap them.
-        default_result = apply_default_spread(
-            placement, config.area_overhead, add_fillers=False
+        ctx = StrategyContext(
+            placement=placement,
+            power=power,
+            thermal_map=thermal_map,
+            hotspots=spots,
+            config=config,
         )
-        hw_result = apply_hotspot_wrapper(
-            default_result.placement,
-            self._project_hotspots(spots, placement, default_result.placement),
-            ring_width_um=config.wrapper_ring_um,
-            max_source_units=config.wrapper_max_source_units,
-            max_hotspots=config.max_hotspots,
-            add_fillers=config.add_fillers,
-        )
+        result = config.strategy_impl.apply(ctx)
         return AreaManagementResult(
-            placement=hw_result.placement,
+            placement=result.placement,
             strategy=config.strategy,
             hotspots=spots,
             requested_overhead=config.area_overhead,
-            actual_overhead=default_result.actual_overhead,
-            num_fillers=hw_result.num_fillers,
-            details=hw_result,
+            actual_overhead=result.actual_overhead,
+            inserted_rows=result.inserted_rows,
+            num_fillers=result.num_fillers,
+            details=result.details,
         )
 
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _project_hotspots(
-        hotspots: Sequence[Hotspot], source: Placement, target: Placement
-    ) -> List[Hotspot]:
-        """Scale hotspot rectangles from one core outline to another.
-
-        When the hotspot wrapper starts from a relaxed-utilization (larger)
-        placement, the hotspots detected on the baseline map are projected
-        onto the new core by scaling their rectangles with the core-size
-        ratio; the dominant units (which is what the wrapper actually acts
-        on) are preserved.
-        """
-        sx = target.floorplan.core_width / source.floorplan.core_width
-        sy = target.floorplan.core_height / source.floorplan.core_height
-        projected: List[Hotspot] = []
-        for hotspot in hotspots:
-            rect = hotspot.rect
-            from ..placement.floorplan import Rect as _Rect
-
-            projected.append(
-                Hotspot(
-                    index=hotspot.index,
-                    bins=list(hotspot.bins),
-                    rect=_Rect(rect.x0 * sx, rect.y0 * sy, rect.x1 * sx, rect.y1 * sy),
-                    peak_celsius=hotspot.peak_celsius,
-                    peak_bin=hotspot.peak_bin,
-                    dominant_units=list(hotspot.dominant_units),
-                    power_w=hotspot.power_w,
-                    num_cells=hotspot.num_cells,
-                )
-            )
-        return projected
+    #: Retained for backward compatibility; strategies use the module-level
+    #: :func:`repro.core.hotspot.project_hotspots`.
+    _project_hotspots = staticmethod(project_hotspots)
 
     def optimize_and_resimulate(
         self,
@@ -287,3 +279,13 @@ class AreaManager:
         result = self.optimize(placement, power, thermal_map)
         new_map = simulate_placement(result.placement, power, package=package, nx=nx, ny=ny)
         return result, new_map
+
+
+__all__ = [
+    "ERI_HOTSPOT_THRESHOLD",
+    "HW_HOTSPOT_THRESHOLD",
+    "AreaManagementConfig",
+    "AreaManagementResult",
+    "AreaManager",
+    "Strategy",
+]

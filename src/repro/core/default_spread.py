@@ -10,7 +10,6 @@ that ignores where the hotspots are.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..placement import Placement, insert_fillers, place_design
 

@@ -21,10 +21,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..placement import Placement, insert_fillers
-from ..placement.floorplan import Floorplan, Rect
 from .hotspot import Hotspot
 
 
@@ -205,6 +204,48 @@ def apply_empty_row_insertion(
         num_rows = rows_for_overhead(baseline, area_overhead)
 
     insertion_points = plan_insertion_points(baseline, hotspots, num_rows)
+    return apply_row_insertions(
+        baseline,
+        insertion_points,
+        requested_overhead=area_overhead,
+        add_fillers=add_fillers,
+    )
+
+
+def apply_row_insertions(
+    baseline: Placement,
+    insertion_points: Sequence[int],
+    requested_overhead: Optional[float] = None,
+    add_fillers: bool = True,
+) -> EmptyRowInsertionResult:
+    """Insert empty rows below explicitly chosen baseline row indices.
+
+    This is the mechanical half of empty row insertion, exposed so other
+    planners (e.g. the thermal-gradient strategy, which apportions rows by
+    row-average temperature rather than hotspot proximity) can reuse the
+    row-shifting machinery with their own insertion plan.
+
+    Args:
+        baseline: The placement to transform (left untouched).
+        insertion_points: Baseline row indices below which to insert an
+            empty row; duplicates insert several rows at the same point.
+        requested_overhead: Book-keeping value stored on the result.
+        add_fillers: Fill the created whitespace with dummy cells.
+
+    Returns:
+        An :class:`EmptyRowInsertionResult` whose placement lives on a
+        cloned netlist.
+
+    Raises:
+        ValueError: If any insertion point is outside the baseline rows.
+    """
+    insertion_points = list(insertion_points)
+    num_baseline_rows = baseline.floorplan.num_rows
+    for row in insertion_points:
+        if not 0 <= row < num_baseline_rows:
+            raise ValueError(
+                f"insertion point {row} outside baseline rows [0, {num_baseline_rows})"
+            )
 
     # Number of empty rows inserted below each baseline row index.
     inserted_below: Dict[int, int] = {}
@@ -243,7 +284,7 @@ def apply_empty_row_insertion(
         placement=placement,
         inserted_rows=len(insertion_points),
         insertion_points=insertion_points,
-        requested_overhead=area_overhead,
+        requested_overhead=requested_overhead,
         actual_overhead=actual_overhead,
         num_fillers=num_fillers,
     )

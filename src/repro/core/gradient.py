@@ -1,0 +1,119 @@
+"""Thermal-gradient row apportionment.
+
+The Default scheme spreads whitespace uniformly and ERI concentrates it
+around detected hotspots; the ``gradient`` strategy sits between the two:
+the empty-row budget is apportioned over *all* placement rows
+proportionally to the thermal map's row-average temperature rise, so warm
+bands receive whitespace in proportion to how warm they are — no hotspot
+segmentation involved.  This suits workloads whose heat is banded or
+smeared rather than concentrated (a scenario neither paper technique
+targets directly).
+
+The apportionment is the largest-remainder method over per-row weights
+``(row rise - min rise) ** exponent``: subtracting the lateral minimum
+removes the spatially uniform part of the rise (the vertical path through
+the package), and the exponent sharpens (``> 1``) or flattens (``< 1``)
+the allocation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..placement import Placement
+from ..thermal import ThermalMap
+
+
+def row_temperature_weights(
+    placement: Placement, thermal_map: ThermalMap, exponent: float = 1.0
+) -> np.ndarray:
+    """Per-placement-row whitespace weights from the thermal map.
+
+    Each placement row is mapped to the thermal-grid row containing its
+    centre line; the weight is that grid row's average rise above the
+    lateral minimum, raised to ``exponent``.
+
+    Args:
+        placement: The placed design (provides row geometry and the
+            die-to-grid mapping).
+        thermal_map: Solved thermal map of that placement.
+        exponent: Sharpening exponent; must be positive.
+
+    Returns:
+        An array of shape ``(num_rows,)`` of non-negative weights.  All
+        zeros when the map has no lateral variation.
+    """
+    if exponent <= 0.0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    floorplan = placement.floorplan
+    rise = thermal_map.rise_map()
+    row_rise = rise.mean(axis=1)  # (ny,) bottom-to-top, like placement rows
+    lateral = row_rise - row_rise.min()
+    ny = rise.shape[0]
+    bin_h = floorplan.die_height / ny
+
+    weights = np.zeros(floorplan.num_rows)
+    for row in range(floorplan.num_rows):
+        y_center = floorplan.row_y(row) + 0.5 * floorplan.row_height
+        iy = int((y_center + floorplan.die_margin) / bin_h)
+        iy = min(max(iy, 0), ny - 1)
+        weights[row] = lateral[iy]
+    if weights.max() > 0.0:
+        weights = (weights / weights.max()) ** exponent
+    return weights
+
+
+def plan_gradient_insertion_points(
+    placement: Placement,
+    thermal_map: ThermalMap,
+    num_rows: int,
+    exponent: float = 1.0,
+) -> List[int]:
+    """Apportion ``num_rows`` empty-row insertions by row temperature.
+
+    Largest-remainder apportionment of the budget over the per-row weights
+    of :func:`row_temperature_weights`; a row may receive more than one
+    empty row when it is much hotter than the rest.  Falls back to a
+    uniform every-``k``-th-row spread when the map is laterally flat.
+
+    Args:
+        placement: The placement being transformed.
+        thermal_map: Thermal map of that placement.
+        num_rows: Empty-row budget (``<= 0`` plans nothing).
+        exponent: Sharpening exponent for the weights.
+
+    Returns:
+        Baseline row indices (possibly with repeats), sorted ascending —
+        deterministic for a given placement and map.
+    """
+    if num_rows <= 0:
+        return []
+    weights = row_temperature_weights(placement, thermal_map, exponent=exponent)
+    total = float(weights.sum())
+    num_baseline_rows = placement.floorplan.num_rows
+
+    if total <= 0.0:
+        # Laterally flat map: spread the budget evenly over the core.
+        stride = max(1, num_baseline_rows // num_rows)
+        points = [(i * stride) % num_baseline_rows for i in range(num_rows)]
+        return sorted(points)
+
+    quotas = weights * (num_rows / total)
+    base = np.floor(quotas).astype(int)
+    remainder = int(num_rows - base.sum())
+    # Ties broken by larger fractional part, then hotter row, then index —
+    # fully deterministic.
+    order = sorted(
+        range(num_baseline_rows),
+        key=lambda r: (-(quotas[r] - base[r]), -weights[r], r),
+    )
+    counts = base.copy()
+    for r in order[:remainder]:
+        counts[r] += 1
+
+    points: List[int] = []
+    for row, count in enumerate(counts):
+        points.extend([row] * int(count))
+    return points

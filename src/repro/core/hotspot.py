@@ -178,6 +178,37 @@ def detect_hotspots(
     return hotspots
 
 
+def project_hotspots(
+    hotspots: Sequence[Hotspot], source: Placement, target: Placement
+) -> List[Hotspot]:
+    """Scale hotspot rectangles from one core outline to another.
+
+    When a strategy starts from a transformed (larger) placement, the
+    hotspots detected on the baseline map are projected onto the new core
+    by scaling their rectangles with the core-size ratio; the dominant
+    units (which is what e.g. the hotspot wrapper actually acts on) are
+    preserved.
+    """
+    sx = target.floorplan.core_width / source.floorplan.core_width
+    sy = target.floorplan.core_height / source.floorplan.core_height
+    projected: List[Hotspot] = []
+    for hotspot in hotspots:
+        rect = hotspot.rect
+        projected.append(
+            Hotspot(
+                index=hotspot.index,
+                bins=list(hotspot.bins),
+                rect=Rect(rect.x0 * sx, rect.y0 * sy, rect.x1 * sx, rect.y1 * sy),
+                peak_celsius=hotspot.peak_celsius,
+                peak_bin=hotspot.peak_bin,
+                dominant_units=list(hotspot.dominant_units),
+                power_w=hotspot.power_w,
+                num_cells=hotspot.num_cells,
+            )
+        )
+    return projected
+
+
 def hotspot_summary(hotspots: Sequence[Hotspot]) -> List[Dict[str, float]]:
     """Compact per-hotspot summary rows for reports."""
     rows: List[Dict[str, float]] = []

@@ -28,7 +28,7 @@ whitespace around the hotspots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..placement import Placement, insert_fillers, remove_fillers
 from ..placement.floorplan import Rect

@@ -20,17 +20,15 @@ The figure/table benchmarks in ``benchmarks/`` are thin wrappers around
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
-from ..analysis.metrics import compare
 from ..bench import Workload
 from ..core import (
     AreaManagementConfig,
-    AreaManagementResult,
     AreaManager,
     Hotspot,
-    Strategy,
+    StrategySpec,
     apply_empty_row_insertion,
     detect_hotspots,
 )
@@ -171,7 +169,9 @@ class StrategyOutcome:
     """One point of the evaluation: a strategy applied at one overhead.
 
     Attributes:
-        strategy: Strategy name (``"default"``, ``"eri"`` or ``"hw"``).
+        strategy: Canonical strategy spec — the registered name
+            (``"eri"``), including any parameter overrides
+            (``"hw:ring_um=8.0"``).
         requested_overhead: Requested area overhead fraction.
         actual_overhead: Core-area overhead actually obtained.
         temperature_reduction: Peak temperature-rise reduction fraction.
@@ -200,7 +200,7 @@ class StrategyOutcome:
 
 def evaluate_strategy(
     setup: ExperimentSetup,
-    strategy: "Strategy | str",
+    strategy: StrategySpec,
     area_overhead: float,
     analyze_timing: bool = True,
     hotspot_threshold: Optional[float] = None,
@@ -211,7 +211,9 @@ def evaluate_strategy(
 
     Args:
         setup: The prepared experiment baseline.
-        strategy: ``"default"``, ``"eri"`` or ``"hw"``.
+        strategy: Any registered strategy spec — a name (``"eri"``), a
+            parameterized spec (``"hw:ring_um=8"``), a mapping, or a
+            resolved :class:`~repro.core.WhitespaceStrategy`.
         area_overhead: Requested area overhead fraction.
         analyze_timing: Re-run STA on the transformed placement.
         hotspot_threshold: Optional override of the detection threshold.
@@ -226,7 +228,7 @@ def evaluate_strategy(
     """
     config = AreaManagementConfig(
         area_overhead=area_overhead,
-        strategy=Strategy.parse(strategy),
+        strategy=strategy,
         hotspot_threshold=hotspot_threshold,
         wrapper_ring_um=wrapper_ring_um,
     )
@@ -254,7 +256,7 @@ def evaluate_strategy(
         timing_overhead_value = new_timing.overhead_versus(setup.timing)
 
     return StrategyOutcome(
-        strategy=config.strategy.value,
+        strategy=config.strategy_impl.spec,
         requested_overhead=area_overhead,
         actual_overhead=result.actual_overhead,
         temperature_reduction=new_map.reduction_versus(setup.thermal_map),
@@ -271,7 +273,7 @@ def evaluate_strategy(
 def sweep_overheads(
     setup: ExperimentSetup,
     overheads: Sequence[float] = DEFAULT_OVERHEADS,
-    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    strategies: Sequence[StrategySpec] = DEFAULT_STRATEGIES,
     analyze_timing: bool = False,
     cache: Optional[SolverCache] = None,
 ) -> List[StrategyOutcome]:

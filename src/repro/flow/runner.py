@@ -29,6 +29,7 @@ from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
+from ..core import StrategySpec, parse_strategy_spec, resolve_strategy
 from .cache import SolverCache
 from .experiment import (
     DEFAULT_OVERHEADS,
@@ -47,13 +48,22 @@ class CampaignPoint:
 
     Attributes:
         workload: Name of the workload/setup the point runs against.
-        strategy: Whitespace-allocation strategy (``default``/``eri``/``hw``).
+        strategy: Whitespace-allocation strategy spec in canonical string
+            form (``"eri"``, ``"hw:ring_um=8.0"``, ...).
         overhead: Requested area overhead fraction.
     """
 
     workload: str
     strategy: str
     overhead: float
+
+
+def _spec_params(spec: str) -> Dict[str, object]:
+    """The parameter overrides encoded in a canonical spec string."""
+    try:
+        return parse_strategy_spec(spec)[1]
+    except (TypeError, ValueError):
+        return {}
 
 
 @dataclass
@@ -64,16 +74,25 @@ class CampaignRecord:
         point: The grid cell that was run.
         outcome: The measured :class:`StrategyOutcome`.
         elapsed_s: Wall-clock seconds spent evaluating the point.
+        strategy_params: Parameter overrides of the point's strategy spec
+            (empty for bare names), so persisted records are self-
+            describing when a sweep varies strategy parameters.
     """
 
     point: CampaignPoint
     outcome: StrategyOutcome
     elapsed_s: float
+    strategy_params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.strategy_params:
+            self.strategy_params = _spec_params(self.point.strategy)
 
     def to_dict(self) -> Dict[str, object]:
         """Flat dict form (used for both JSON and CSV rows)."""
         row: Dict[str, object] = {"workload": self.point.workload}
         row.update(asdict(self.outcome))
+        row["strategy_params"] = dict(self.strategy_params)
         row["elapsed_s"] = self.elapsed_s
         return row
 
@@ -89,7 +108,15 @@ class CampaignRecord:
             strategy=outcome.strategy,
             overhead=outcome.requested_overhead,
         )
-        return cls(point=point, outcome=outcome, elapsed_s=float(row.get("elapsed_s", 0.0)))
+        params = row.get("strategy_params", {})
+        if isinstance(params, str):
+            params = json.loads(params) if params else {}
+        return cls(
+            point=point,
+            outcome=outcome,
+            elapsed_s=float(row.get("elapsed_s", 0.0)),
+            strategy_params=dict(params),
+        )
 
 
 @dataclass
@@ -115,15 +142,35 @@ class CampaignResult:
     def find(
         self, strategy: str, overhead: float, workload: Optional[str] = None
     ) -> Optional[CampaignRecord]:
-        """The record of one grid cell, or ``None`` when absent."""
-        for record in self.records:
-            if (
-                record.point.strategy == strategy
-                and abs(record.point.overhead - overhead) < 1e-12
-                and (workload is None or record.point.workload == workload)
-            ):
-                return record
-        return None
+        """The record of one grid cell, or ``None`` when absent.
+
+        ``strategy`` matches the point's full spec string (canonicalised
+        first, so ``"hw:ring_um=8"`` finds the stored ``"hw:ring_um=8.0"``);
+        a bare name also matches a parameterized point of that strategy,
+        but only when no exact-spec record exists at that cell.
+        """
+        try:
+            strategy = resolve_strategy(strategy).spec
+        except (TypeError, ValueError):
+            pass  # unregistered name: match the raw string as-is
+
+        def _match(exact: bool) -> Optional[CampaignRecord]:
+            for record in self.records:
+                point = record.point
+                matches = (
+                    point.strategy == strategy
+                    if exact
+                    else point.strategy.partition(":")[0] == strategy
+                )
+                if (
+                    matches
+                    and abs(point.overhead - overhead) < 1e-12
+                    and (workload is None or point.workload == workload)
+                ):
+                    return record
+            return None
+
+        return _match(exact=True) or _match(exact=False)
 
     def workloads(self) -> List[str]:
         """Workload names present, in first-seen order."""
@@ -168,6 +215,12 @@ class CampaignResult:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         rows = [record.to_dict() for record in self.records]
+        # CSV cells must be scalars; structured values (strategy_params)
+        # are embedded as JSON so they round-trip through from_dict.
+        for row in rows:
+            for key, value in row.items():
+                if isinstance(value, (dict, list)):
+                    row[key] = json.dumps(value, sort_keys=True)
         columns = list(rows[0].keys()) if rows else ["workload"]
         with path.open("w", newline="") as handle:
             writer = csv.DictWriter(handle, fieldnames=columns)
@@ -212,7 +265,11 @@ class Campaign:
     Args:
         setups: Prepared baselines, keyed by workload name — or a single
             :class:`ExperimentSetup`, keyed by its workload's name.
-        strategies: Strategies to evaluate at every overhead.
+        strategies: Strategy specs to evaluate at every overhead; each may
+            be a registered name, a parameterized spec string or mapping,
+            or a resolved strategy.  Specs are validated (and canonicalised
+            to strings) here, so a typo fails at construction rather than
+            deep inside the run.
         overheads: Requested area-overhead sweep points.
         analyze_timing: Also run STA per point (slower).
         cache: Solver cache shared by all points; a fresh unbounded
@@ -223,7 +280,7 @@ class Campaign:
     def __init__(
         self,
         setups: Union[ExperimentSetup, Mapping[str, ExperimentSetup]],
-        strategies: Sequence[str] = DEFAULT_STRATEGIES,
+        strategies: Sequence[StrategySpec] = DEFAULT_STRATEGIES,
         overheads: Sequence[float] = DEFAULT_OVERHEADS,
         analyze_timing: bool = False,
         cache: Optional[SolverCache] = None,
@@ -234,7 +291,7 @@ class Campaign:
         if not setups:
             raise ValueError("campaign requires at least one setup")
         self.setups: Dict[str, ExperimentSetup] = dict(setups)
-        self.strategies = tuple(strategies)
+        self.strategies = tuple(resolve_strategy(spec).spec for spec in strategies)
         self.overheads = tuple(overheads)
         self.analyze_timing = analyze_timing
         self.cache = cache if cache is not None else SolverCache()

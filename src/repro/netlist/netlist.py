@@ -9,7 +9,7 @@ net/fanout statistics.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from .cell import CellInstance, Pin
 from .library import CellLibrary, MasterCell

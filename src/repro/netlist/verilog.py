@@ -22,7 +22,7 @@ writer emits.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from .library import CellLibrary
 from .netlist import Netlist

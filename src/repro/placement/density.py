@@ -10,7 +10,7 @@ mentions for empty row insertion.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -10,7 +10,6 @@ the layout.
 
 from __future__ import annotations
 
-from typing import List
 
 from ..netlist import CellInstance
 from .placement import Placement, Row

@@ -10,7 +10,6 @@ again before a placement is re-optimised.
 
 from __future__ import annotations
 
-import math
 from typing import List
 
 from ..netlist import CellInstance

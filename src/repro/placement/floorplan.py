@@ -19,8 +19,8 @@ This module provides:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..netlist import ROW_HEIGHT, SITE_WIDTH, Netlist
 

@@ -16,13 +16,13 @@ terminals, which reproduces the net's quadratic star cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from ..netlist import CellInstance, Netlist
+from ..netlist import Netlist
 from .floorplan import Floorplan, Rect
 
 

@@ -15,7 +15,6 @@ Two legalizers are provided:
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist import CellInstance

@@ -10,8 +10,7 @@ row insertion and hotspot wrapper transformations are built from.
 
 from __future__ import annotations
 
-import bisect
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist import CellInstance, Netlist
 from .floorplan import Floorplan, Rect

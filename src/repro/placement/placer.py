@@ -14,11 +14,11 @@ that the post-placement temperature-reduction techniques operate on.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ..netlist import Netlist
 from .detailed import improve_placement
-from .floorplan import Floorplan, Rect, slicing_partition
+from .floorplan import Floorplan, slicing_partition
 from .global_place import QuadraticPlacer, assign_port_positions
 from .legalize import pack_into_region
 from .placement import Placement

@@ -10,11 +10,11 @@ power analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 from ..netlist import Netlist
 from .logicsim import LogicSimulator, SimulationResult
-from .vectors import VectorSet, generate_vectors
+from .vectors import generate_vectors
 
 
 @dataclass

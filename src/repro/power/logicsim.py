@@ -15,7 +15,7 @@ information a SAIF file would carry in the commercial flow.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

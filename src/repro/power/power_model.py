@@ -20,7 +20,6 @@ The result is a :class:`PowerReport` mapping every cell instance to a
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 

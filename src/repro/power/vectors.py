@@ -11,7 +11,7 @@ ones.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping
 
 import numpy as np
 

@@ -20,8 +20,8 @@ the default values are calibrated to land in the paper's reported range of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..netlist import CellInstance, Netlist
+from ..netlist import Netlist
 from .delay import DelayModel
 
 #: Clock period corresponding to the paper's 1 GHz operating frequency.

@@ -10,7 +10,6 @@ from repro.bench import (
     concentrated_hotspot_workload,
     custom_workload,
     scattered_hotspots_workload,
-    small_synthetic_circuit,
     uniform_workload,
     unit_cell_counts,
 )

@@ -39,6 +39,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--strategies", "bogus"])
 
+    def test_unknown_strategy_exits_2_with_suggestion(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["sweep", "--strategies", "gradiant"])
+        assert excinfo.value.code == 2
+        assert "did you mean 'gradient'" in capsys.readouterr().err
+
+    def test_bad_strategy_param_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["sweep", "--strategies", "hw:rings=9"])
+        assert excinfo.value.code == 2
+        assert "has no parameter" in capsys.readouterr().err
+
+    def test_comma_separated_specs_keep_param_commas(self):
+        args = build_parser().parse_args(
+            ["sweep", "--strategies", "default,hw:ring_um=8,max_source_units=3,hybrid"]
+        )
+        assert args.strategies == [
+            ["default", "hw:max_source_units=3,ring_um=8.0", "hybrid"]
+        ]
+
+    def test_quickstart_accepts_any_registered_spec(self):
+        args = build_parser().parse_args(
+            ["quickstart", "--strategy", "gradient:exponent=2"]
+        )
+        assert args.strategy == "gradient:exponent=2.0"
+
 
 class TestQuickstart(object):
     def test_writes_json_record(self, tmp_path, capsys):
@@ -92,6 +118,42 @@ class TestSweep:
     def test_writes_csv_next_to_json(self, sweep_dir):
         lines = (sweep_dir / "figure6.csv").read_text().strip().splitlines()
         assert len(lines) == 7
+
+
+class TestStrategies:
+    def test_lists_registry(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("default", "eri", "hw", "hybrid", "gradient"):
+            assert name in out
+        assert "spec grammar" in out
+
+
+class TestHybridSweep:
+    def test_one_point_hybrid_sweep(self, tmp_path):
+        run_cli(
+            ["sweep", "--strategies", "hybrid", "--overheads", "0.15", "--jobs", "1"],
+            tmp_path,
+        )
+        payload = json.loads((tmp_path / "figure6.json").read_text())
+        (record,) = payload["records"]
+        assert record["strategy"] == "hybrid"
+        assert record["strategy_params"] == {}
+        assert record["temperature_reduction"] > 0.0
+        assert payload["metadata"]["strategies"] == ["hybrid"]
+
+    def test_parameterized_sweep_records_params(self, tmp_path):
+        run_cli(
+            ["sweep", "--strategies", "gradient:exponent=2", "--overheads", "0.15",
+             "--jobs", "1", "--csv"],
+            tmp_path,
+        )
+        payload = json.loads((tmp_path / "figure6.json").read_text())
+        (record,) = payload["records"]
+        assert record["strategy"] == "gradient:exponent=2.0"
+        assert record["strategy_params"] == {"exponent": 2.0}
+        header = (tmp_path / "figure6.csv").read_text().splitlines()[0]
+        assert "strategy_params" in header
 
 
 class TestTable1:

@@ -1,6 +1,5 @@
 """Tests for rectangles, floorplans and the slicing partition."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.netlist import CellLibrary, MasterCell, ROW_HEIGHT, SITE_WIDTH, default_library
+from repro.netlist import CellLibrary, ROW_HEIGHT, SITE_WIDTH
 from repro.netlist.library import (
     _fn_fa,
     _fn_ha,

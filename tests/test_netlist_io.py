@@ -3,7 +3,6 @@
 import pytest
 
 from repro.netlist import (
-    Netlist,
     read_def,
     read_verilog,
     write_def,

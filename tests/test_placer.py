@@ -17,7 +17,6 @@ from repro.placement import (
     insert_fillers,
     pack_into_region,
     peak_density,
-    place_design,
     remove_fillers,
     replace_at_utilization,
     slicing_partition,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.netlist import Netlist
 from repro.power import (
     LogicSimulator,
     PowerModel,

@@ -12,7 +12,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.bench import ripple_carry_adder
 from repro.core import apply_empty_row_insertion, detect_hotspots
 from repro.netlist import Netlist, default_library
-from repro.placement import Floorplan, Placement, Rect, insert_fillers, place_design
+from repro.placement import Floorplan, Placement, insert_fillers, place_design
 from repro.power import PowerModel, SwitchingActivity
 from repro.thermal import ThermalGrid, ThermalSolver, default_package
 

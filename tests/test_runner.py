@@ -104,6 +104,40 @@ class TestRun:
         assert record.outcome.strategy == "eri"
         assert campaign_result.find("eri", 0.99) is None
 
+    def test_find_prefers_exact_spec_over_bare_name_match(self, campaign_result):
+        base = campaign_result.records[0]
+        parameterized = CampaignRecord(
+            point=CampaignPoint(base.point.workload, "hw:ring_um=12.0", 0.15),
+            outcome=base.outcome,
+            elapsed_s=0.0,
+        )
+        exact = CampaignRecord(
+            point=CampaignPoint(base.point.workload, "hw", 0.15),
+            outcome=base.outcome,
+            elapsed_s=0.0,
+        )
+        result = CampaignResult(records=[parameterized, exact])
+        # Exact spec wins even though the parameterized record comes first...
+        assert result.find("hw", 0.15) is exact
+        assert result.find("hw:ring_um=12.0", 0.15) is parameterized
+        # ...and a bare name still falls back to a parameterized-only grid.
+        only_param = CampaignResult(records=[parameterized])
+        assert only_param.find("hw", 0.15) is parameterized
+        assert parameterized.strategy_params == {"ring_um": 12.0}
+
+    def test_find_canonicalises_the_query_spec(self, campaign_result):
+        base = campaign_result.records[0]
+        record = CampaignRecord(
+            point=CampaignPoint(base.point.workload, "hw:ring_um=8.0", 0.15),
+            outcome=base.outcome,
+            elapsed_s=0.0,
+        )
+        result = CampaignResult(records=[record])
+        # The user's non-canonical form (int 8) still finds the stored
+        # canonical point (float 8.0); unknown names just return None.
+        assert result.find("hw:ring_um=8", 0.15) is record
+        assert result.find("not-registered", 0.15) is None
+
 
 class TestPersistence:
     def test_json_roundtrip(self, campaign_result, tmp_path):

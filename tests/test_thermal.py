@@ -16,7 +16,6 @@ from repro.thermal import (
     high_performance_package,
     low_cost_package,
     map_from_solution,
-    simulate_placement,
     simulate_with_leakage_feedback,
 )
 
