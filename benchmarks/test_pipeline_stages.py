@@ -1,0 +1,235 @@
+"""Stage benchmarks: the compiled array engine versus the reference paths.
+
+Measures the flow's hot stages on the full (~12k cell) synthetic benchmark
+— logic simulation + power estimation, static timing, thermal-grid binning
+— and the quickstart flow end-to-end, with the compiled engine against the
+reference per-object loops.  Results are written to ``BENCH_pipeline.json``
+at the repository root so the perf trajectory is tracked as data, not
+anecdotes.
+
+Thresholds (asserted at full size): >=3x on logic-sim + power, >=2x on the
+end-to-end quickstart flow, >=2x on STA, >=3x on binning.  Set
+``REPRO_BENCH_SMOKE=1`` to run on the scaled-down benchmark instead (CI
+smoke): numbers are still recorded and engines are still checked for
+agreement, but the speedup floors are not enforced — tiny designs make
+wall-clock ratios meaningless on noisy runners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    build_synthetic_circuit,
+    scattered_hotspots_workload,
+    small_synthetic_circuit,
+)
+from repro.core import AreaManagementConfig, AreaManager
+from repro.engine import use_engine
+from repro.flow import ExperimentSetup
+from repro.placement import place_design
+from repro.power import (
+    LogicSimulator,
+    PowerModel,
+    SwitchingActivity,
+    build_power_map,
+    generate_vectors,
+)
+from repro.thermal import simulate_placement
+from repro.timing import StaticTimingAnalyzer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Speedup floors demanded of the compiled engine (full-size runs only).
+MIN_LOGICSIM_POWER_SPEEDUP = 3.0
+MIN_END_TO_END_SPEEDUP = 2.0
+MIN_STA_SPEEDUP = 2.0
+MIN_BINNING_SPEEDUP = 3.0
+
+RESULTS: dict = {}
+
+
+def _best(fn, repeats: int = 3):
+    """Best wall-clock of ``repeats`` runs; returns (seconds, last result)."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _record(stage: str, reference_s: float, compiled_s: float, **extra) -> float:
+    speedup = reference_s / compiled_s
+    RESULTS[stage] = {
+        "reference_s": round(reference_s, 6),
+        "compiled_s": round(compiled_s, 6),
+        "speedup": round(speedup, 3),
+        **extra,
+    }
+    print(f"\n[{stage}] reference {reference_s:.3f}s -> compiled "
+          f"{compiled_s:.3f}s ({speedup:.2f}x)")
+    return speedup
+
+
+@pytest.fixture(scope="module")
+def pipeline_circuit():
+    """A dedicated circuit instance (not shared with the other benchmarks,
+    so re-placing it here cannot stale their session fixtures)."""
+    return small_synthetic_circuit() if SMOKE else build_synthetic_circuit()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_bench_json(pipeline_circuit):
+    """Persist whatever stages ran to BENCH_pipeline.json on teardown."""
+    yield
+    payload = {
+        "benchmark": "pipeline_stages",
+        "smoke": SMOKE,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "circuit": {
+            "name": pipeline_circuit.name,
+            "cells": pipeline_circuit.num_cells,
+            "nets": pipeline_circuit.num_nets,
+        },
+        "stages": RESULTS,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {path}")
+
+
+class TestPipelineStages:
+    def test_logicsim_power_stage(self, pipeline_circuit):
+        """Logic simulation + power estimation: the flow's hottest stage."""
+        netlist = pipeline_circuit
+        workload = scattered_hotspots_workload(netlist)
+        vectors = generate_vectors(
+            netlist, workload.port_toggle_probabilities(netlist),
+            num_cycles=24, batch_size=32, seed=2010,
+        )
+
+        def stage(engine):
+            with use_engine(engine):
+                simulator = LogicSimulator(netlist)
+                result = simulator.simulate(vectors)
+                activity = SwitchingActivity.from_simulation(netlist, result)
+                power = PowerModel().estimate(netlist, activity)
+            return power.total()
+
+        netlist.compiled()  # one-time lowering, outside the timed region
+        compiled_s, compiled_total = _best(lambda: stage("compiled"))
+        reference_s, reference_total = _best(lambda: stage("reference"), repeats=1)
+
+        assert compiled_total == pytest.approx(reference_total, rel=1e-12)
+        speedup = _record("logicsim_power", reference_s, compiled_s,
+                          num_cycles=24, batch_size=32)
+        if not SMOKE:
+            assert speedup >= MIN_LOGICSIM_POWER_SPEEDUP, (
+                f"logic-sim+power only {speedup:.2f}x faster than reference"
+            )
+
+    def test_sta_stage(self, pipeline_circuit):
+        """Static timing analysis on the placed design."""
+        netlist = pipeline_circuit
+        place_design(netlist, utilization=0.85)
+        analyzer = StaticTimingAnalyzer(netlist)
+
+        compiled_s, compiled_report = _best(
+            lambda: analyzer.analyze(engine="compiled")
+        )
+        reference_s, reference_report = _best(
+            lambda: analyzer.analyze(engine="reference")
+        )
+
+        assert compiled_report.critical_path_ps == pytest.approx(
+            reference_report.critical_path_ps, rel=1e-12
+        )
+        assert compiled_report.worst_path.endpoint == reference_report.worst_path.endpoint
+        speedup = _record("sta", reference_s, compiled_s,
+                          num_endpoints=compiled_report.num_endpoints)
+        if not SMOKE:
+            assert speedup >= MIN_STA_SPEEDUP, (
+                f"STA only {speedup:.2f}x faster than reference"
+            )
+
+    def test_binning_stage(self, pipeline_circuit):
+        """Power-map binning (cells -> thermal grid)."""
+        netlist = pipeline_circuit
+        placement = place_design(netlist, utilization=0.85)
+        activity = SwitchingActivity.uniform(netlist, 0.2)
+        power = PowerModel().estimate(netlist, activity)
+
+        compiled_s, compiled_map = _best(
+            lambda: build_power_map(placement, power, engine="compiled"), repeats=5
+        )
+        reference_s, reference_map = _best(
+            lambda: build_power_map(placement, power, engine="reference")
+        )
+
+        np.testing.assert_allclose(
+            compiled_map.power_w, reference_map.power_w, rtol=1e-12, atol=1e-18
+        )
+        speedup = _record("power_binning", reference_s, compiled_s)
+        if not SMOKE:
+            assert speedup >= MIN_BINNING_SPEEDUP, (
+                f"binning only {speedup:.2f}x faster than reference"
+            )
+
+    def test_quickstart_end_to_end(self):
+        """The full quickstart flow: place, simulate, solve, ERI, re-solve.
+
+        Each engine runs the complete flow on its own fresh circuit so
+        neither inherits compiled state or factorisations from the other.
+        """
+        def quickstart(engine):
+            netlist = (
+                small_synthetic_circuit() if SMOKE else build_synthetic_circuit()
+            )
+            with use_engine(engine):
+                start = time.perf_counter()
+                workload = scattered_hotspots_workload(netlist)
+                setup = ExperimentSetup.prepare(
+                    netlist, workload, base_utilization=0.85
+                )
+                manager = AreaManager(
+                    AreaManagementConfig(strategy="eri", area_overhead=0.15)
+                )
+                result = manager.optimize(
+                    setup.placement, setup.power, setup.thermal_map
+                )
+                new_map = simulate_placement(
+                    result.placement, setup.power, package=setup.package
+                )
+                elapsed = time.perf_counter() - start
+            return elapsed, new_map.reduction_versus(setup.thermal_map)
+
+        times = {"compiled": float("inf"), "reference": float("inf")}
+        reductions = {}
+        for _ in range(2):
+            for engine in ("compiled", "reference"):
+                elapsed, reduction = quickstart(engine)
+                times[engine] = min(times[engine], elapsed)
+                reductions[engine] = reduction
+
+        assert reductions["compiled"] == pytest.approx(
+            reductions["reference"], rel=1e-9
+        )
+        speedup = _record(
+            "quickstart_end_to_end", times["reference"], times["compiled"],
+            temperature_reduction=round(reductions["compiled"], 6),
+        )
+        if not SMOKE:
+            assert speedup >= MIN_END_TO_END_SPEEDUP, (
+                f"quickstart flow only {speedup:.2f}x faster than reference"
+            )

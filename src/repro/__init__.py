@@ -25,9 +25,10 @@ records to JSON/CSV; ``python -m repro sweep`` drives the same machinery
 from the shell (see :mod:`repro.cli`).
 """
 
-from . import analysis, bench, core, flow, netlist, placement, power, thermal, timing
+from . import analysis, bench, core, engine, flow, netlist, placement, power, thermal, timing
+from .engine import get_engine, set_engine, use_engine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
@@ -39,5 +40,9 @@ __all__ = [
     "power",
     "thermal",
     "timing",
+    "engine",
+    "get_engine",
+    "set_engine",
+    "use_engine",
     "__version__",
 ]

@@ -1,0 +1,65 @@
+"""Execution-engine selection for the flow's hot paths.
+
+The power, thermal-binning and timing layers each have two numerically
+equivalent implementations:
+
+* ``"compiled"`` — the default: the netlist is lowered once into levelized
+  structure-of-arrays index vectors (:mod:`repro.netlist.compiled`) and the
+  per-gate/per-cell Python loops are replaced by whole-array NumPy
+  expressions;
+* ``"reference"`` — the original per-object loops, kept as the executable
+  specification the compiled paths are validated against (see
+  ``tests/test_compiled_equivalence.py``) and benchmarked against
+  (``benchmarks/test_pipeline_stages.py``).
+
+The engine can be chosen per call (every fast-path entry point takes an
+``engine=`` keyword), per block (:func:`use_engine`), or globally
+(:func:`set_engine`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: The two available engines.
+ENGINES = ("compiled", "reference")
+
+_active_engine = "compiled"
+
+
+def get_engine() -> str:
+    """Name of the currently active engine."""
+    return _active_engine
+
+
+def set_engine(name: str) -> None:
+    """Select the process-wide default engine.
+
+    Raises:
+        ValueError: If ``name`` is not one of :data:`ENGINES`.
+    """
+    global _active_engine
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
+    _active_engine = name
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Resolve a per-call ``engine=`` argument against the active default."""
+    if engine is None:
+        return _active_engine
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
+
+
+@contextmanager
+def use_engine(name: str) -> Iterator[None]:
+    """Temporarily switch the process-wide engine within a ``with`` block."""
+    previous = get_engine()
+    set_engine(name)
+    try:
+        yield
+    finally:
+        set_engine(previous)

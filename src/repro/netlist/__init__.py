@@ -14,6 +14,7 @@ from .library import (
     default_library,
 )
 from .cell import CellInstance, Pin
+from .compiled import CompiledNetlist, GateGroup
 from .net import Net, Port
 from .netlist import Netlist
 from .verilog import read_verilog, write_verilog
@@ -33,6 +34,8 @@ __all__ = [
     "default_library",
     "CellInstance",
     "Pin",
+    "CompiledNetlist",
+    "GateGroup",
     "Net",
     "Port",
     "Netlist",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import count
 from typing import Dict, Optional, TYPE_CHECKING
 
 from .library import MasterCell, ROW_HEIGHT
@@ -59,6 +60,17 @@ class CellInstance:
     __slots__ = ("name", "master", "pins", "x", "y", "row", "unit", "fixed",
                  "width", "area")
 
+    #: Process-wide placement epoch, advanced by every :meth:`place` call.
+    #: Consumers that cache coordinate arrays (e.g.
+    #: :meth:`repro.placement.placement.Placement.cell_center_arrays`)
+    #: compare against it to detect that *any* cell has moved.  Each call
+    #: draws a unique value from a C-level counter (atomic under the GIL),
+    #: so concurrent Campaign workers cannot lose an increment; coordinates
+    #: are written *before* the epoch advances, so a gather that races a
+    #: move is invalidated by that move's own bump.
+    placement_epoch: int = 0
+    _epoch_source = count(1)
+
     def __init__(self, name: str, master: MasterCell, unit: str = "") -> None:
         self.name = name
         self.master = master
@@ -101,11 +113,22 @@ class CellInstance:
             raise ValueError(f"cell {self.name} is not placed")
         return (self.x + self.width / 2.0, self.y + self.height / 2.0)
 
+    @staticmethod
+    def bump_placement_epoch() -> None:
+        """Advance the process-wide placement epoch.
+
+        Call after assigning ``x``/``y`` directly instead of through
+        :meth:`place` (e.g. :meth:`Placement.rebuild_rows` does), so cached
+        coordinate arrays are invalidated.
+        """
+        CellInstance.placement_epoch = next(CellInstance._epoch_source)
+
     def place(self, x: float, y: float, row: Optional[int] = None) -> None:
         """Place the cell with its lower-left corner at ``(x, y)``."""
         self.x = x
         self.y = y
         self.row = row
+        CellInstance.placement_epoch = next(CellInstance._epoch_source)
 
     # -- connectivity --------------------------------------------------------
 

@@ -142,6 +142,31 @@ def _fn_filler(inputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
     return _fn_const0(inputs)
 
 
+#: Maps every built-in logic function to the vector-op code the compiled
+#: array engine (:mod:`repro.netlist.compiled`) evaluates whole levels with.
+#: Custom master cells whose function is not listed here still simulate
+#: correctly — the compiled engine falls back to calling their ``function``
+#: cell by cell within the level.
+VECTOR_OP_CODES = {
+    _fn_const0: "const0",
+    _fn_buf: "buf",
+    _fn_inv: "inv",
+    _fn_and: "and",
+    _fn_nand: "nand",
+    _fn_or: "or",
+    _fn_nor: "nor",
+    _fn_xor: "xor",
+    _fn_xnor: "xnor",
+    _fn_mux2: "mux2",
+    _fn_aoi21: "aoi21",
+    _fn_oai21: "oai21",
+    _fn_ha: "ha",
+    _fn_fa: "fa",
+    _fn_dff: "buf",
+    _fn_filler: "const0",
+}
+
+
 # ---------------------------------------------------------------------------
 # Master cell definition.
 # ---------------------------------------------------------------------------

@@ -5,6 +5,10 @@ from __future__ import annotations
 from typing import List, Optional
 
 from .cell import Pin
+from .library import ROW_HEIGHT
+
+#: Precomputed half row height: every cell centre is at ``y + ROW_HEIGHT/2``.
+_HALF_ROW = ROW_HEIGHT / 2.0
 
 
 class Port:
@@ -131,16 +135,58 @@ class Net:
     def hpwl(self) -> float:
         """Half-perimeter wirelength of the net over its placed terminals.
 
+        Single-pass over the terminals without building the point list;
+        this runs in the innermost loop of the detailed placer.
+
         Returns:
             The HPWL in micrometres, or 0.0 if fewer than two terminals are
             placed.
         """
-        points = self.terminals_xy()
-        if len(points) < 2:
+        min_x = min_y = float("inf")
+        max_x = max_y = float("-inf")
+        count = 0
+
+        pin = self.driver_pin
+        if pin is not None:
+            cell = pin.cell
+            if cell.x is not None and cell.y is not None:
+                x = cell.x + cell.width / 2.0
+                y = cell.y + _HALF_ROW
+                min_x = max_x = x
+                min_y = max_y = y
+                count = 1
+        port = self.driver_port
+        if port is not None and port.x is not None:
+            x, y = port.x, port.y
+            min_x = x if x < min_x else min_x
+            max_x = x if x > max_x else max_x
+            min_y = y if y < min_y else min_y
+            max_y = y if y > max_y else max_y
+            count += 1
+        for pin in self.sink_pins:
+            cell = pin.cell
+            if cell.x is None or cell.y is None:
+                continue
+            x = cell.x + cell.width / 2.0
+            y = cell.y + _HALF_ROW
+            min_x = x if x < min_x else min_x
+            max_x = x if x > max_x else max_x
+            min_y = y if y < min_y else min_y
+            max_y = y if y > max_y else max_y
+            count += 1
+        for port in self.sink_ports:
+            if port.x is None:
+                continue
+            x, y = port.x, port.y
+            min_x = x if x < min_x else min_x
+            max_x = x if x > max_x else max_x
+            min_y = y if y < min_y else min_y
+            max_y = y if y > max_y else max_y
+            count += 1
+
+        if count < 2:
             return 0.0
-        xs = [p[0] for p in points]
-        ys = [p[1] for p in points]
-        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return (max_x - min_x) + (max_y - min_y)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Net({self.name}, sinks={self.num_sinks})"

@@ -30,6 +30,37 @@ class Netlist:
         self.cells: Dict[str, CellInstance] = {}
         self.nets: Dict[str, Net] = {}
         self.ports: Dict[str, Port] = {}
+        #: Structural version, bumped by every mutating method; the compiled
+        #: array form (:meth:`compiled`) is cached against it.
+        self._version = 0
+        self._compiled = None
+
+    def _invalidate(self) -> None:
+        self._version += 1
+
+    def invalidate_compiled(self) -> None:
+        """Force recompilation of the cached array form.
+
+        Mutations performed through :class:`Netlist` methods are tracked
+        automatically; call this only after mutating nets or pins directly
+        (e.g. ``net.add_sink(pin)`` without going through :meth:`connect`).
+        """
+        self._invalidate()
+
+    def compiled(self):
+        """The netlist lowered to levelized structure-of-arrays form.
+
+        The :class:`~repro.netlist.compiled.CompiledNetlist` is built on
+        first access and cached; any structural mutation through the
+        :class:`Netlist` API invalidates it automatically.
+        """
+        from .compiled import CompiledNetlist
+
+        cached = self._compiled
+        if cached is None or cached.version != self._version:
+            cached = CompiledNetlist(self)
+            self._compiled = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -54,6 +85,7 @@ class Netlist:
         master_cell = self.library[master] if isinstance(master, str) else master
         inst = CellInstance(name, master_cell, unit=unit)
         self.cells[name] = inst
+        self._invalidate()
         return inst
 
     def add_net(self, name: str) -> Net:
@@ -62,6 +94,7 @@ class Netlist:
         if net is None:
             net = Net(name)
             self.nets[name] = net
+            self._invalidate()
         return net
 
     def add_port(self, name: str, direction: str) -> Port:
@@ -74,6 +107,7 @@ class Netlist:
             raise ValueError(f"duplicate port {name!r}")
         port = Port(name, direction)
         self.ports[name] = port
+        self._invalidate()
         return port
 
     def connect(self, net_name: str, pin: Pin) -> Net:
@@ -83,6 +117,7 @@ class Netlist:
             net.set_driver(pin)
         else:
             net.add_sink(pin)
+        self._invalidate()
         return net
 
     def connect_port(self, net_name: str, port_name: str) -> Net:
@@ -93,6 +128,7 @@ class Netlist:
             net.set_driver_port(port)
         else:
             net.add_sink_port(port)
+        self._invalidate()
         return net
 
     def remove_cell(self, name: str) -> None:
@@ -107,6 +143,7 @@ class Netlist:
             if pin in net.sink_pins:
                 net.sink_pins.remove(pin)
             pin.net = None
+        self._invalidate()
 
     # ------------------------------------------------------------------
     # Queries
@@ -280,25 +317,45 @@ class Netlist:
         keyed by cell name) valid for the copy.
         """
         clone = Netlist(name if name is not None else self.name, self.library)
+        # Clone structures directly (the source is valid by construction, so
+        # the checked add/connect API would only re-validate it); this runs
+        # once per strategy evaluation on the full design.
+        clone_cells = clone.cells
         for inst in self.cells.values():
-            new = clone.add_cell(inst.name, inst.master, unit=inst.unit)
-            if inst.is_placed:
-                new.place(inst.x, inst.y, inst.row)
+            new = CellInstance(inst.name, inst.master, unit=inst.unit)
+            new.x = inst.x
+            new.y = inst.y
+            new.row = inst.row
             new.fixed = inst.fixed
+            clone_cells[inst.name] = new
+        clone_ports = clone.ports
         for port in self.ports.values():
-            new_port = clone.add_port(port.name, port.direction)
+            new_port = Port(port.name, port.direction)
             new_port.x = port.x
             new_port.y = port.y
+            clone_ports[port.name] = new_port
+        clone_nets = clone.nets
         for net in self.nets.values():
-            clone.add_net(net.name)
+            new_net = Net(net.name)
             if net.driver_pin is not None:
-                clone.connect(net.name, clone.cells[net.driver_pin.cell.name].pin(net.driver_pin.name))
+                pin = clone_cells[net.driver_pin.cell.name].pins[net.driver_pin.name]
+                new_net.driver_pin = pin
+                pin.net = new_net
             if net.driver_port is not None:
-                clone.connect_port(net.name, net.driver_port.name)
+                port = clone_ports[net.driver_port.name]
+                new_net.driver_port = port
+                port.net = new_net
+            sinks = new_net.sink_pins
             for pin in net.sink_pins:
-                clone.connect(net.name, clone.cells[pin.cell.name].pin(pin.name))
+                new_pin = clone_cells[pin.cell.name].pins[pin.name]
+                sinks.append(new_pin)
+                new_pin.net = new_net
             for port in net.sink_ports:
-                clone.connect_port(net.name, port.name)
+                new_port = clone_ports[port.name]
+                new_net.sink_ports.append(new_port)
+                new_port.net = new_net
+            clone_nets[net.name] = new_net
+        clone._invalidate()
         return clone
 
     # ------------------------------------------------------------------

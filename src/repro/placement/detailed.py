@@ -37,6 +37,61 @@ def _swap_positions(row: Row, a: CellInstance, b: CellInstance) -> None:
     row.sort()
 
 
+def _swap_adjacent(row: Row, i: int) -> None:
+    """Swap the cells at list positions ``i`` and ``i + 1`` in a sorted row.
+
+    Equivalent to :func:`_swap_positions` on the pair, but exchanges the two
+    list entries directly instead of re-sorting the whole row — the swap is
+    the innermost operation of the detailed placer.
+    """
+    a = row.cells[i]
+    b = row.cells[i + 1]
+    new_b_x = a.x
+    new_a_x = a.x + b.width
+    b.place(new_b_x, row.y, row.index)
+    a.place(new_a_x, row.y, row.index)
+    row.cells[i] = b
+    row.cells[i + 1] = a
+
+
+def _pair_hpwl(a: CellInstance, b: CellInstance, cache: dict) -> float:
+    """``_cell_hpwl(a) + _cell_hpwl(b)`` served from a per-net HPWL cache.
+
+    HPWL is a pure function of terminal positions, so cached values are
+    bitwise identical to fresh ones as long as the caller invalidates the
+    nets of any cell it moves (see :func:`_invalidate_cell_nets`); the
+    per-cell summation order — and therefore every accept/reject decision —
+    is exactly the uncached behaviour.  Adjacent cells usually share nets
+    and consecutive pairs share a cell, so the cache removes most of the
+    dominant cost of the swap evaluation.
+    """
+
+    def one(cell: CellInstance) -> float:
+        total = 0.0
+        seen = set()
+        for pin in cell.pins.values():
+            net = pin.net
+            if net is None or net.name in seen:
+                continue
+            seen.add(net.name)
+            value = cache.get(net.name)
+            if value is None:
+                value = net.hpwl()
+                cache[net.name] = value
+            total += value
+        return total
+
+    return one(a) + one(b)
+
+
+def _invalidate_cell_nets(cell: CellInstance, cache: dict) -> None:
+    """Drop the cached HPWL of every net attached to a moved cell."""
+    for pin in cell.pins.values():
+        net = pin.net
+        if net is not None:
+            cache.pop(net.name, None)
+
+
 def improve_row(placement: Placement, row: Row) -> int:
     """One pass of adjacent-pair swaps over a row.
 
@@ -46,20 +101,26 @@ def improve_row(placement: Placement, row: Row) -> int:
     row.sort()
     swaps = 0
     i = 0
+    site_width = placement.floorplan.site_width
+    hpwl_cache: dict = {}
     while i + 1 < len(row.cells):
         left = row.cells[i]
         right = row.cells[i + 1]
         # Only swap abutting or near-abutting neighbours so whitespace
         # created on purpose (wrappers, spread rows) is not disturbed.
-        if right.x - (left.x + left.width) > placement.floorplan.site_width:
+        if right.x - (left.x + left.width) > site_width:
             i += 1
             continue
-        before = _cell_hpwl(left) + _cell_hpwl(right)
-        _swap_positions(row, left, right)
-        after = _cell_hpwl(left) + _cell_hpwl(right)
+        before = _pair_hpwl(left, right, hpwl_cache)
+        _swap_adjacent(row, i)
+        _invalidate_cell_nets(left, hpwl_cache)
+        _invalidate_cell_nets(right, hpwl_cache)
+        after = _pair_hpwl(left, right, hpwl_cache)
         if after >= before - 1e-9:
             # Revert: swap back (right is now left of left).
-            _swap_positions(row, right, left)
+            _swap_adjacent(row, i)
+            _invalidate_cell_nets(left, hpwl_cache)
+            _invalidate_cell_nets(right, hpwl_cache)
         else:
             swaps += 1
         i += 1

@@ -195,7 +195,13 @@ class Placement:
                 row.remove(cell)
 
     def rebuild_rows(self) -> None:
-        """Rebuild the per-row cell lists from the cells' coordinates."""
+        """Rebuild the per-row cell lists from the cells' coordinates.
+
+        This is the supported entry point after assigning ``cell.x`` /
+        ``cell.y`` directly (bypassing :meth:`CellInstance.place`), so it
+        also advances the placement epoch — cached coordinate arrays must
+        see the moves.
+        """
         for row in self.rows:
             row.cells.clear()
         for cell in self.netlist.cells.values():
@@ -207,6 +213,7 @@ class Placement:
             self.rows[index].cells.append(cell)
         for row in self.rows:
             row.sort()
+        CellInstance.bump_placement_epoch()
 
     def placed_cells(self, include_fillers: bool = True) -> List[CellInstance]:
         """All placed cells, optionally excluding fillers."""
@@ -241,9 +248,20 @@ class Placement:
         """Core utilization factor (logic cell area / core area)."""
         return self.floorplan.utilization(self.netlist)
 
+    def cell_center_arrays(self) -> Tuple:
+        """Per-cell centre coordinate arrays ``(cx, cy, placed_mask)``.
+
+        Aligned with the netlist's compiled cell order and cached against
+        the process-wide placement epoch (see
+        :meth:`repro.netlist.compiled.CompiledNetlist.cell_center_arrays`),
+        so the thermal-grid binning and temperature lookups pay the gather
+        only when cells have actually moved.
+        """
+        return self.netlist.compiled().cell_center_arrays()
+
     def total_hpwl(self) -> float:
         """Total half-perimeter wirelength over all nets, in micrometres."""
-        return sum(net.hpwl() for net in self.netlist.nets.values())
+        return float(self.netlist.compiled().net_hpwl_um().sum())
 
     def core_area(self) -> float:
         """Core area in square micrometres."""

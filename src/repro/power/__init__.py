@@ -9,7 +9,13 @@ from .power_model import (
     PowerModel,
     PowerReport,
 )
-from .power_map import PowerMap, build_power_map, grid_bin_geometry, iter_cell_bins
+from .power_map import (
+    PowerMap,
+    build_power_map,
+    cell_bin_indices,
+    grid_bin_geometry,
+    iter_cell_bins,
+)
 
 __all__ = [
     "VectorSet",
@@ -26,4 +32,5 @@ __all__ = [
     "build_power_map",
     "grid_bin_geometry",
     "iter_cell_bins",
+    "cell_bin_indices",
 ]

@@ -9,8 +9,11 @@ power analysis.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
 
 from ..netlist import Netlist
 from .logicsim import LogicSimulator, SimulationResult
@@ -24,10 +27,16 @@ class SwitchingActivity:
     Attributes:
         toggle_rates: Mapping net name -> average transitions per cycle.
         static_probabilities: Mapping net name -> probability of logic 1.
+        net_order: Optional net-name alignment of :attr:`toggle_rate_array`;
+            populated when the activity came from a compiled-engine
+            simulation, letting the power model skip per-net dict lookups.
+        toggle_rate_array: Toggle rates aligned with :attr:`net_order`.
     """
 
     toggle_rates: Dict[str, float] = field(default_factory=dict)
     static_probabilities: Dict[str, float] = field(default_factory=dict)
+    net_order: Optional[List[str]] = field(default=None, repr=False)
+    toggle_rate_array: Optional[np.ndarray] = field(default=None, repr=False)
 
     def toggle_rate(self, net: str, default: float = 0.0) -> float:
         """Toggle rate of ``net`` (transitions per cycle)."""
@@ -37,6 +46,30 @@ class SwitchingActivity:
         """Static probability of ``net`` being logic 1."""
         return self.static_probabilities.get(net, default)
 
+    def aligned_toggle_rates(self, comp) -> np.ndarray:
+        """Toggle rates as a vector aligned with a compiled netlist.
+
+        Uses the stored array when its alignment matches; otherwise gathers
+        from the dict (absent nets contribute ``0.0``, matching
+        :meth:`toggle_rate`) and caches per compiled identity.
+        """
+        if self.toggle_rate_array is not None and (
+            self.net_order is comp.net_names or self.net_order == comp.net_names
+        ):
+            return self.toggle_rate_array
+        cache = getattr(self, "_aligned_cache", None)
+        if cache is not None and cache[0]() is comp:
+            return cache[1]
+        rates = np.fromiter(
+            (self.toggle_rates.get(name, 0.0) for name in comp.net_names),
+            dtype=float,
+            count=comp.num_nets,
+        )
+        # Weakly referenced so a long-lived activity never pins a compiled
+        # netlist (and its whole design) that is otherwise dead.
+        self._aligned_cache = (weakref.ref(comp), rates)
+        return rates
+
     def scaled(self, factor: float) -> "SwitchingActivity":
         """Return a copy with every toggle rate multiplied by ``factor``."""
         if factor < 0.0:
@@ -44,6 +77,12 @@ class SwitchingActivity:
         return SwitchingActivity(
             toggle_rates={net: rate * factor for net, rate in self.toggle_rates.items()},
             static_probabilities=dict(self.static_probabilities),
+            net_order=self.net_order,
+            toggle_rate_array=(
+                self.toggle_rate_array * factor
+                if self.toggle_rate_array is not None
+                else None
+            ),
         )
 
     def average_toggle_rate(self) -> float:
@@ -55,6 +94,24 @@ class SwitchingActivity:
     @classmethod
     def from_simulation(cls, netlist: Netlist, result: SimulationResult) -> "SwitchingActivity":
         """Build the annotation from a :class:`SimulationResult`."""
+        if result.net_order is not None and result.net_order == list(netlist.nets):
+            counted = result.num_cycles
+            if counted > 1:
+                rate_array = result.toggle_array / float(
+                    (counted - 1) * result.batch_size
+                )
+            else:
+                rate_array = np.zeros(len(result.net_order))
+            if result.total_samples > 0:
+                prob_array = result.one_array / float(result.total_samples)
+            else:
+                prob_array = np.zeros(len(result.net_order))
+            return cls(
+                toggle_rates=dict(zip(result.net_order, rate_array.tolist())),
+                static_probabilities=dict(zip(result.net_order, prob_array.tolist())),
+                net_order=result.net_order,
+                toggle_rate_array=rate_array,
+            )
         toggles: Dict[str, float] = {}
         probs: Dict[str, float] = {}
         for net_name in netlist.nets:

@@ -3,9 +3,17 @@
 Substitutes for the Synopsys VCS logic-simulation step of the paper's flow.
 The simulator is a synchronous, zero-delay, cycle-based simulator: on every
 clock cycle it applies the next primary-input vector, evaluates the
-levelized combinational logic (all values are NumPy boolean arrays over a
-batch of independent streams, so one pass evaluates many random streams at
-once), and then updates every flip-flop with the value at its D pin.
+levelized combinational logic, and then updates every flip-flop with the
+value at its D pin.
+
+Two engines implement the same semantics (see :mod:`repro.engine`):
+
+* ``"compiled"`` (default) — the netlist's compiled structure-of-arrays
+  form evaluates whole levels as grouped boolean array expressions over a
+  ``(net, lane)`` value matrix; activity statistics are accumulated as
+  whole-array reductions.
+* ``"reference"`` — the original per-gate dispatch loop, kept as the
+  executable specification.
 
 The output is a per-net switching-activity annotation (toggles per cycle
 and static probability) which the power model consumes — the same
@@ -14,11 +22,12 @@ information a SAIF file would carry in the commercial flow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..engine import resolve_engine
 from ..netlist import CellInstance, Netlist
 from .vectors import VectorSet
 
@@ -36,6 +45,11 @@ class SimulationResult:
         batch_size: Number of parallel streams.
         final_values: Net name -> boolean array with the last cycle's values
             (useful for functional checks in tests).
+        net_order: Net names aligned with :attr:`toggle_array` /
+            :attr:`one_array` when the compiled engine produced the result
+            (``None`` otherwise).
+        toggle_array: Per-net toggle counts aligned with :attr:`net_order`.
+        one_array: Per-net one counts aligned with :attr:`net_order`.
     """
 
     toggle_counts: Dict[str, int]
@@ -43,6 +57,9 @@ class SimulationResult:
     num_cycles: int
     batch_size: int
     final_values: Dict[str, np.ndarray]
+    net_order: Optional[List[str]] = field(default=None, repr=False)
+    toggle_array: Optional[np.ndarray] = field(default=None, repr=False)
+    one_array: Optional[np.ndarray] = field(default=None, repr=False)
 
     @property
     def total_samples(self) -> int:
@@ -72,18 +89,32 @@ class LogicSimulator:
 
     def __init__(self, netlist: Netlist) -> None:
         self.netlist = netlist
-        self._order: List[CellInstance] = netlist.levelize()
+        self._order_cache: Optional[List[CellInstance]] = None
         self._sequential: List[CellInstance] = netlist.sequential_cells()
+
+    @property
+    def _order(self) -> List[CellInstance]:
+        """Topological evaluation order (built on first reference-engine use)."""
+        if self._order_cache is None:
+            self._order_cache = self.netlist.levelize()
+        return self._order_cache
 
     # ------------------------------------------------------------------
 
-    def simulate(self, vectors: VectorSet, warmup_cycles: int = 2) -> SimulationResult:
+    def simulate(
+        self,
+        vectors: VectorSet,
+        warmup_cycles: int = 2,
+        engine: Optional[str] = None,
+    ) -> SimulationResult:
         """Run the simulation over a :class:`VectorSet`.
 
         Args:
             vectors: Input stimulus; must cover every primary input.
             warmup_cycles: Initial cycles excluded from activity statistics
                 (lets flip-flop state settle).
+            engine: ``"compiled"`` or ``"reference"``; defaults to the
+                process-wide engine (see :mod:`repro.engine`).
 
         Returns:
             A :class:`SimulationResult` with per-net activity counts.
@@ -91,6 +122,90 @@ class LogicSimulator:
         Raises:
             KeyError: If a primary input has no stimulus.
         """
+        if resolve_engine(engine) == "reference":
+            return self._simulate_reference(vectors, warmup_cycles)
+        return self._simulate_compiled(vectors, warmup_cycles)
+
+    # ------------------------------------------------------------------
+    # Compiled engine
+    # ------------------------------------------------------------------
+
+    def _simulate_compiled(self, vectors: VectorSet, warmup_cycles: int) -> SimulationResult:
+        comp = self.netlist.compiled()
+        num_cycles = vectors.num_cycles
+        batch = vectors.batch_size
+        warmup_cycles = min(warmup_cycles, max(num_cycles - 2, 0))
+
+        # Stimulus, stacked as (num_connected_inputs, cycles, batch).
+        pi_slots: List[int] = []
+        pi_streams: List[np.ndarray] = []
+        for name, slot in comp.pi_ports:
+            stream = vectors.values.get(name)
+            if stream is None:
+                raise KeyError(f"no stimulus for primary input {name}")
+            if slot >= 0:
+                pi_slots.append(slot)
+                pi_streams.append(stream)
+        pi_slot_arr = np.array(pi_slots, dtype=np.int64)
+        pi_stack = (
+            np.ascontiguousarray(np.stack(pi_streams, axis=0))
+            if pi_streams
+            else np.zeros((0, num_cycles, batch), dtype=bool)
+        )
+
+        num_nets = comp.num_nets
+        values = np.zeros((comp.num_slots, batch), dtype=bool)
+        state = np.zeros((comp.seq_cells.shape[0], batch), dtype=bool)
+        ones = np.zeros(num_nets, dtype=np.int64)
+        toggles = np.zeros(num_nets, dtype=np.int64)
+        prev = np.empty((num_nets, batch), dtype=bool)
+        have_prev = False
+
+        for cycle in range(num_cycles):
+            values[pi_slot_arr] = pi_stack[:, cycle]
+            values[comp.seq_q_slot] = state
+            comp.evaluate_levels(values)
+
+            if cycle >= warmup_cycles:
+                net_values = values[:num_nets]
+                ones += np.count_nonzero(net_values, axis=1)
+                if have_prev:
+                    toggles += np.count_nonzero(net_values != prev, axis=1)
+                np.copyto(prev, net_values)
+                have_prev = True
+
+            # Clock edge: capture D into Q for the next cycle.
+            state = values[comp.seq_d_slot]
+
+        counted_cycles = num_cycles - warmup_cycles
+        driven = comp.driven_slots
+        names = comp.net_names
+        driven_names = [names[i] for i in driven]
+        one_counts = dict(zip(driven_names, ones[driven].tolist()))
+        toggle_counts = (
+            dict(zip(driven_names, toggles[driven].tolist()))
+            if counted_cycles >= 2
+            else {}
+        )
+        final_values = {
+            name: values[slot].copy() for name, slot in zip(driven_names, driven)
+        }
+        return SimulationResult(
+            toggle_counts=toggle_counts,
+            one_counts=one_counts,
+            num_cycles=counted_cycles,
+            batch_size=batch,
+            final_values=final_values,
+            net_order=names,
+            toggle_array=toggles,
+            one_array=ones,
+        )
+
+    # ------------------------------------------------------------------
+    # Reference engine (original per-gate dispatch loop)
+    # ------------------------------------------------------------------
+
+    def _simulate_reference(self, vectors: VectorSet, warmup_cycles: int) -> SimulationResult:
         num_cycles = vectors.num_cycles
         batch = vectors.batch_size
         warmup_cycles = min(warmup_cycles, max(num_cycles - 2, 0))
@@ -114,8 +229,8 @@ class LogicSimulator:
                     one_counts[net_name] = one_counts.get(net_name, 0) + ones
                     prev = previous.get(net_name)
                     if prev is not None:
-                        toggles = int(np.count_nonzero(arr != prev))
-                        toggle_counts[net_name] = toggle_counts.get(net_name, 0) + toggles
+                        toggled = int(np.count_nonzero(arr != prev))
+                        toggle_counts[net_name] = toggle_counts.get(net_name, 0) + toggled
                 previous = values
 
             # Clock edge: capture D into Q for the next cycle.
@@ -178,7 +293,10 @@ class LogicSimulator:
     # ------------------------------------------------------------------
 
     def evaluate_combinational(
-        self, input_values: Dict[str, np.ndarray], register_values: Optional[Dict[str, np.ndarray]] = None
+        self,
+        input_values: Dict[str, np.ndarray],
+        register_values: Optional[Dict[str, np.ndarray]] = None,
+        engine: Optional[str] = None,
     ) -> Dict[str, np.ndarray]:
         """Single combinational evaluation with explicit input values.
 
@@ -189,21 +307,45 @@ class LogicSimulator:
             input_values: Mapping primary-input name -> boolean array.
             register_values: Optional mapping flip-flop instance name ->
                 boolean array of current Q values (default all zero).
+            engine: ``"compiled"`` or ``"reference"``; defaults to the
+                process-wide engine.
 
         Returns:
             Mapping net name -> boolean array of evaluated values.
         """
         batch = len(next(iter(input_values.values())))
-        state = {
-            ff.name: (register_values or {}).get(ff.name, np.zeros(batch, dtype=bool))
-            for ff in self._sequential
+
+        if resolve_engine(engine) == "reference":
+            state = {
+                ff.name: (register_values or {}).get(ff.name, np.zeros(batch, dtype=bool))
+                for ff in self._sequential
+            }
+
+            class _SingleCycle:
+                def __init__(self, values: Dict[str, np.ndarray]) -> None:
+                    self.values = {
+                        k: np.asarray(v, dtype=bool)[np.newaxis, :]
+                        for k, v in values.items()
+                    }
+                    self.num_cycles = 1
+                    self.batch_size = batch
+
+            return self._evaluate_cycle(_SingleCycle(input_values), state, 0, batch)
+
+        comp = self.netlist.compiled()
+        values = np.zeros((comp.num_slots, batch), dtype=bool)
+        registers = register_values or {}
+        for pos, ci in enumerate(comp.seq_cells):
+            q_values = registers.get(comp.cell_names[ci])
+            if q_values is not None:
+                values[comp.seq_q_slot[pos]] = np.asarray(q_values, dtype=bool)
+        for name, slot in comp.pi_ports:
+            stream = input_values.get(name)
+            if stream is None:
+                raise KeyError(f"no stimulus for primary input {name}")
+            if slot >= 0:
+                values[slot] = np.asarray(stream, dtype=bool)
+        comp.evaluate_levels(values)
+        return {
+            comp.net_names[slot]: values[slot].copy() for slot in comp.driven_slots
         }
-
-        class _SingleCycle:
-            def __init__(self, values: Dict[str, np.ndarray]) -> None:
-                self.values = {k: np.asarray(v, dtype=bool)[np.newaxis, :] for k, v in values.items()}
-                self.num_cycles = 1
-                self.batch_size = batch
-
-        vectors = _SingleCycle(input_values)
-        return self._evaluate_cycle(vectors, state, 0, batch)

@@ -6,15 +6,23 @@ This module performs exactly that grouping: given a placed design and a
 per-cell power report it produces the 2-D grid of power per thermal cell
 (and the corresponding power density) that is injected into the RC thermal
 network's active layer.
+
+The default (compiled) engine bins all cells with one ``np.bincount`` over
+the placement's cached coordinate arrays; the reference engine is the
+original cell-at-a-time loop.  Both use :func:`math.floor` before clamping
+(truncating with ``int()`` would collapse the open interval just below the
+grid origin into bin 0 from the wrong side).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..engine import resolve_engine
 from ..placement import Placement
 from .power_model import PowerReport
 
@@ -67,9 +75,14 @@ class PowerMap:
         return float(density[iy, ix]), (int(iy), int(ix))
 
     def bin_of(self, x_um: float, y_um: float) -> Tuple[int, int]:
-        """Grid indices ``(iy, ix)`` of the bin containing a point (clamped)."""
-        ix = int((x_um - self.origin_um[0]) / self.bin_width_um)
-        iy = int((y_um - self.origin_um[1]) / self.bin_height_um)
+        """Grid indices ``(iy, ix)`` of the bin containing a point (clamped).
+
+        Uses :func:`math.floor` so points just below the grid origin map to
+        negative raw indices (then clamp to 0) instead of truncating toward
+        zero and silently landing in bin 0 as if they were inside it.
+        """
+        ix = math.floor((x_um - self.origin_um[0]) / self.bin_width_um)
+        iy = math.floor((y_um - self.origin_um[1]) / self.bin_height_um)
         return (
             min(max(iy, 0), self.ny - 1),
             min(max(ix, 0), self.nx - 1),
@@ -141,9 +154,37 @@ def iter_cell_bins(
     origin, bin_w, bin_h = grid_bin_geometry(placement, nx=nx, ny=ny, over_die=over_die)
     for cell in placement.placed_cells(include_fillers=include_fillers):
         cx, cy = cell.center
-        ix = min(max(int((cx - origin[0]) / bin_w), 0), nx - 1)
-        iy = min(max(int((cy - origin[1]) / bin_h), 0), ny - 1)
+        ix = min(max(math.floor((cx - origin[0]) / bin_w), 0), nx - 1)
+        iy = min(max(math.floor((cy - origin[1]) / bin_h), 0), ny - 1)
         yield cell, iy, ix
+
+
+def cell_bin_indices(
+    placement: Placement,
+    nx: int = 40,
+    ny: int = 40,
+    over_die: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized cell-to-bin assignment over the whole netlist.
+
+    Returns:
+        ``(iy, ix, placed_mask)`` arrays aligned with the netlist's compiled
+        cell order; unplaced cells carry ``False`` in the mask (their bin
+        indices are meaningless).  Binning matches :func:`iter_cell_bins`
+        exactly (centre-of-cell, floor, clamp).
+    """
+    origin, bin_w, bin_h = grid_bin_geometry(placement, nx=nx, ny=ny, over_die=over_die)
+    cx, cy, placed = placement.cell_center_arrays()
+    with np.errstate(invalid="ignore"):
+        ix = np.clip(
+            np.floor((cx - origin[0]) / bin_w), 0, nx - 1
+        )
+        iy = np.clip(
+            np.floor((cy - origin[1]) / bin_h), 0, ny - 1
+        )
+    ix = np.nan_to_num(ix, nan=0.0).astype(np.int64)
+    iy = np.nan_to_num(iy, nan=0.0).astype(np.int64)
+    return iy, ix, placed
 
 
 def build_power_map(
@@ -152,6 +193,7 @@ def build_power_map(
     nx: int = 40,
     ny: int = 40,
     over_die: bool = True,
+    engine: Optional[str] = None,
 ) -> PowerMap:
     """Bin per-cell power onto a thermal grid.
 
@@ -166,18 +208,31 @@ def build_power_map(
         ny: Number of grid bins in y (the paper uses 40).
         over_die: When ``True`` the grid spans the die (core plus margin),
             matching the thermal model footprint; otherwise just the core.
+        engine: ``"compiled"`` (one ``np.bincount`` over cached coordinate
+            arrays) or ``"reference"`` (cell-at-a-time); defaults to the
+            process-wide engine.
 
     Returns:
         The :class:`PowerMap`.
     """
     origin, bin_w, bin_h = grid_bin_geometry(placement, nx=nx, ny=ny, over_die=over_die)
 
-    grid = np.zeros((ny, nx), dtype=float)
-    for cell, iy, ix in iter_cell_bins(placement, nx=nx, ny=ny, over_die=over_die):
-        cell_power = power.power_of(cell.name)
-        if cell_power == 0.0:
-            continue
-        grid[iy, ix] += cell_power
+    if resolve_engine(engine) == "reference":
+        grid = np.zeros((ny, nx), dtype=float)
+        for cell, iy, ix in iter_cell_bins(placement, nx=nx, ny=ny, over_die=over_die):
+            cell_power = power.power_of(cell.name)
+            if cell_power == 0.0:
+                continue
+            grid[iy, ix] += cell_power
+    else:
+        comp = placement.netlist.compiled()
+        iy, ix, placed = cell_bin_indices(placement, nx=nx, ny=ny, over_die=over_die)
+        totals = power.total_for_names(comp.cell_names)
+        mask = placed & ~comp.is_filler
+        flat = iy[mask] * nx + ix[mask]
+        grid = np.bincount(flat, weights=totals[mask], minlength=nx * ny).reshape(
+            ny, nx
+        )
 
     return PowerMap(
         power_w=grid,

@@ -16,13 +16,22 @@ commercial tools:
 
 The result is a :class:`PowerReport` mapping every cell instance to a
 :class:`CellPower` breakdown; filler cells always have exactly zero power.
+
+Two engines implement the estimation (see :mod:`repro.engine`): the default
+``"compiled"`` engine evaluates the whole design as array expressions over
+the netlist's compiled vectors, producing an array-backed
+:class:`PowerReport` whose per-cell dict is materialised only on demand;
+the ``"reference"`` engine is the original cell-by-cell loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Union
 
+import numpy as np
+
+from ..engine import resolve_engine
 from ..netlist import CellInstance, Netlist, VDD, WIRE_CAP_PER_UM
 from .activity import SwitchingActivity
 
@@ -58,6 +67,11 @@ class CellPower:
 class PowerReport:
     """Per-cell power for a design.
 
+    Array-backed reports (from the compiled engine) keep per-cell power in
+    aligned vectors and materialise the :attr:`cell_powers` dict lazily;
+    dict-backed reports (from the reference engine, or hand-built) behave
+    exactly as before.
+
     Attributes:
         cell_powers: Mapping cell instance name -> :class:`CellPower`.
         frequency_hz: Clock frequency used.
@@ -70,32 +84,120 @@ class PowerReport:
         frequency_hz: float,
         temperature: float,
     ) -> None:
-        self.cell_powers = cell_powers
+        self._cell_powers: Optional[Dict[str, CellPower]] = cell_powers
         self.frequency_hz = frequency_hz
         self.temperature = temperature
+        self._names: Optional[List[str]] = None
+        self._switching: Optional[np.ndarray] = None
+        self._internal: Optional[np.ndarray] = None
+        self._leakage: Optional[np.ndarray] = None
+        self._total: Optional[np.ndarray] = None
+        self._index: Optional[Dict[str, int]] = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        names: List[str],
+        switching: np.ndarray,
+        internal: np.ndarray,
+        leakage: np.ndarray,
+        frequency_hz: float,
+        temperature: float,
+    ) -> "PowerReport":
+        """Build an array-backed report (compiled-engine fast path)."""
+        report = cls({}, frequency_hz, temperature)
+        report._cell_powers = None
+        report._names = names
+        report._switching = switching
+        report._internal = internal
+        report._leakage = leakage
+        total = switching + internal + leakage
+        # Exposed through total_array / total_for_names without copying;
+        # read-only so callers cannot silently corrupt the report.
+        total.setflags(write=False)
+        report._total = total
+        return report
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cell_powers(self) -> Dict[str, CellPower]:
+        """Mapping cell name -> :class:`CellPower` (materialised lazily)."""
+        if self._cell_powers is None:
+            self._cell_powers = {
+                name: CellPower(s, i, k)
+                for name, s, i, k in zip(
+                    self._names,
+                    self._switching.tolist(),
+                    self._internal.tolist(),
+                    self._leakage.tolist(),
+                )
+            }
+        return self._cell_powers
+
+    @property
+    def cell_names(self) -> Optional[List[str]]:
+        """Cell-name alignment of the array backing, or ``None``."""
+        return self._names
+
+    @property
+    def total_array(self) -> Optional[np.ndarray]:
+        """Per-cell total power aligned with :attr:`cell_names`, or ``None``."""
+        return self._total
 
     def power_of(self, cell_name: str) -> float:
         """Total power of ``cell_name`` in watts (0.0 if not reported)."""
-        breakdown = self.cell_powers.get(cell_name)
+        if self._total is not None:
+            if self._index is None:
+                self._index = {n: i for i, n in enumerate(self._names)}
+            idx = self._index.get(cell_name)
+            return float(self._total[idx]) if idx is not None else 0.0
+        breakdown = self._cell_powers.get(cell_name)
         return breakdown.total if breakdown is not None else 0.0
+
+    def total_for_names(self, names: List[str]) -> np.ndarray:
+        """Per-cell total power for an arbitrary cell-name list.
+
+        Fast when ``names`` equals (or extends, e.g. after filler insertion)
+        the report's own alignment; falls back to per-name lookup otherwise.
+        Unreported cells contribute ``0.0``, matching :meth:`power_of`.
+        """
+        if self._total is not None:
+            own = self._names
+            if names is own or names == own:
+                return self._total
+            if len(names) > len(own) and names[: len(own)] == own:
+                padded = np.zeros(len(names))
+                padded[: len(own)] = self._total
+                return padded
+        return np.fromiter(
+            (self.power_of(name) for name in names), dtype=float, count=len(names)
+        )
 
     def total(self) -> float:
         """Total design power in watts."""
-        return sum(p.total for p in self.cell_powers.values())
+        if self._total is not None:
+            return float(self._total.sum())
+        return sum(p.total for p in self._cell_powers.values())
 
     def total_dynamic(self) -> float:
         """Total dynamic (switching + internal) power in watts."""
-        return sum(p.dynamic for p in self.cell_powers.values())
+        if self._switching is not None:
+            return float(self._switching.sum() + self._internal.sum())
+        return sum(p.dynamic for p in self._cell_powers.values())
 
     def total_leakage(self) -> float:
         """Total leakage power in watts."""
-        return sum(p.leakage for p in self.cell_powers.values())
+        if self._leakage is not None:
+            return float(self._leakage.sum())
+        return sum(p.leakage for p in self._cell_powers.values())
 
     def unit_totals(self, netlist: Netlist) -> Dict[str, float]:
         """Total power per logical unit, in watts."""
         totals: Dict[str, float] = {}
+        cell_powers = self.cell_powers
         for cell in netlist.cells.values():
-            breakdown = self.cell_powers.get(cell.name)
+            breakdown = cell_powers.get(cell.name)
             if breakdown is None:
                 continue
             totals[cell.unit] = totals.get(cell.unit, 0.0) + breakdown.total
@@ -162,7 +264,7 @@ class PowerModel:
         activity: SwitchingActivity,
         temperature: Optional[float] = None,
     ) -> CellPower:
-        """Power breakdown of one cell instance."""
+        """Power breakdown of one cell instance (reference semantics)."""
         if cell.is_filler:
             return CellPower(0.0, 0.0, 0.0)
 
@@ -184,11 +286,62 @@ class PowerModel:
         leakage = cell.master.leakage_nw * 1e-9 * self.leakage_scale(temperature)
         return CellPower(switching=switching, internal=internal, leakage=leakage)
 
+    # ------------------------------------------------------------------
+    # Compiled-engine array evaluation
+    # ------------------------------------------------------------------
+
+    def _estimate_arrays(
+        self,
+        comp,
+        activity: SwitchingActivity,
+        leak_scale: Union[float, np.ndarray],
+        report_temperature: float,
+    ) -> PowerReport:
+        """Evaluate the power model as array expressions over compiled vectors."""
+        toggles = activity.aligned_toggle_rates(comp)
+        load_farad = (
+            comp.sink_pin_cap_ff
+            + WIRE_CAP_PER_UM * self.wireload_um_per_fanout * np.maximum(comp.num_sinks, 1)
+        ) * 1e-15
+
+        net_idx = comp.outpin_net
+        cell_idx = comp.outpin_cell
+        pin_toggles = toggles[net_idx]
+        pin_switching = (
+            0.5 * self.vdd ** 2 * load_farad[net_idx] * pin_toggles * self.frequency_hz
+        )
+        pin_internal = (
+            comp.internal_energy_fj[cell_idx] * 1e-15 * pin_toggles * self.frequency_hz
+        )
+        switching = np.bincount(cell_idx, weights=pin_switching, minlength=comp.num_cells)
+        internal = np.bincount(cell_idx, weights=pin_internal, minlength=comp.num_cells)
+        internal = internal + np.where(
+            comp.is_sequential,
+            comp.internal_energy_fj * 1e-15 * self.frequency_hz,
+            0.0,
+        )
+        # leakage is always an array: leakage_nw is a vector and leak_scale
+        # a scalar or an aligned vector.
+        leakage = comp.leakage_nw * 1e-9 * leak_scale
+        if comp.is_filler.any():
+            # Fillers report exactly zero (reference semantics).  Their
+            # switching is already zero — outpin arrays exclude them.
+            fillers = comp.is_filler
+            internal[fillers] = 0.0
+            leakage = np.where(fillers, 0.0, leakage)
+        return PowerReport.from_arrays(
+            comp.cell_names, switching, internal, leakage,
+            self.frequency_hz, report_temperature,
+        )
+
+    # ------------------------------------------------------------------
+
     def estimate(
         self,
         netlist: Netlist,
         activity: SwitchingActivity,
         temperature: Optional[float] = None,
+        engine: Optional[str] = None,
     ) -> PowerReport:
         """Estimate power for every cell in the design.
 
@@ -197,22 +350,29 @@ class PowerModel:
             activity: Per-net switching activity.
             temperature: Optional junction temperature (Celsius) for the
                 leakage term; defaults to the model's temperature.
+            engine: ``"compiled"`` or ``"reference"``; defaults to the
+                process-wide engine (see :mod:`repro.engine`).
 
         Returns:
             A :class:`PowerReport`.
         """
         temp = self.temperature if temperature is None else temperature
-        cell_powers = {
-            cell.name: self.cell_power(netlist, cell, activity, temperature=temp)
-            for cell in netlist.cells.values()
-        }
-        return PowerReport(cell_powers, self.frequency_hz, temp)
+        if resolve_engine(engine) == "reference":
+            cell_powers = {
+                cell.name: self.cell_power(netlist, cell, activity, temperature=temp)
+                for cell in netlist.cells.values()
+            }
+            return PowerReport(cell_powers, self.frequency_hz, temp)
+        return self._estimate_arrays(
+            netlist.compiled(), activity, self.leakage_scale(temp), temp
+        )
 
     def estimate_with_temperature_map(
         self,
         netlist: Netlist,
         activity: SwitchingActivity,
-        cell_temperatures: Mapping[str, float],
+        cell_temperatures: Union[Mapping[str, float], np.ndarray],
+        engine: Optional[str] = None,
     ) -> PowerReport:
         """Estimate power with a per-cell temperature for leakage.
 
@@ -223,16 +383,51 @@ class PowerModel:
         Args:
             netlist: Annotated design.
             activity: Per-net switching activity.
-            cell_temperatures: Mapping cell name -> temperature in Celsius.
+            cell_temperatures: Mapping cell name -> temperature in Celsius,
+                or (compiled engine only) a per-cell temperature vector
+                aligned with the compiled netlist's cell order.
 
         Returns:
             A :class:`PowerReport` (its ``temperature`` is the mean).
         """
-        cell_powers: Dict[str, CellPower] = {}
-        temps = []
-        for cell in netlist.cells.values():
-            temp = cell_temperatures.get(cell.name, self.temperature)
-            temps.append(temp)
-            cell_powers[cell.name] = self.cell_power(netlist, cell, activity, temperature=temp)
-        mean_temp = sum(temps) / len(temps) if temps else self.temperature
-        return PowerReport(cell_powers, self.frequency_hz, mean_temp)
+        if resolve_engine(engine) == "reference":
+            if isinstance(cell_temperatures, np.ndarray):
+                raise TypeError(
+                    "the reference engine requires a name -> temperature mapping"
+                )
+            cell_powers: Dict[str, CellPower] = {}
+            temps = []
+            for cell in netlist.cells.values():
+                temp = cell_temperatures.get(cell.name, self.temperature)
+                temps.append(temp)
+                cell_powers[cell.name] = self.cell_power(
+                    netlist, cell, activity, temperature=temp
+                )
+            mean_temp = sum(temps) / len(temps) if temps else self.temperature
+            return PowerReport(cell_powers, self.frequency_hz, mean_temp)
+
+        comp = netlist.compiled()
+        if isinstance(cell_temperatures, np.ndarray):
+            if cell_temperatures.shape != (comp.num_cells,):
+                raise ValueError(
+                    f"temperature vector has shape {cell_temperatures.shape}, "
+                    f"expected ({comp.num_cells},)"
+                )
+            temps = np.asarray(cell_temperatures, dtype=float)
+        else:
+            temps = np.fromiter(
+                (
+                    cell_temperatures.get(name, self.temperature)
+                    for name in comp.cell_names
+                ),
+                dtype=float,
+                count=comp.num_cells,
+            )
+        if self.leakage_temperature_scaling:
+            leak_scale: Union[float, np.ndarray] = 2.0 ** (
+                (temps - 25.0) / LEAKAGE_DOUBLING_CELSIUS
+            )
+        else:
+            leak_scale = 1.0
+        mean_temp = float(temps.sum() / temps.size) if temps.size else self.temperature
+        return self._estimate_arrays(comp, activity, leak_scale, mean_temp)

@@ -13,6 +13,7 @@ from .thermal_map import ThermalMap, map_from_solution
 from .solver import (
     DEFAULT_PERMC_SPEC,
     ThermalSolver,
+    cell_temperature_array,
     cell_temperatures,
     grid_for_placement,
     simulate_placement,
@@ -38,6 +39,7 @@ __all__ = [
     "map_from_solution",
     "DEFAULT_PERMC_SPEC",
     "ThermalSolver",
+    "cell_temperature_array",
     "cell_temperatures",
     "grid_for_placement",
     "simulate_placement",

@@ -226,8 +226,45 @@ class ThermalNetwork:
 
     # ------------------------------------------------------------------
 
+    def validate_power_map(self, power_per_cell: np.ndarray) -> None:
+        """Check a power map's shape against the grid.
+
+        Raises:
+            ValueError: If the power map shape does not match the grid.
+        """
+        grid = self.grid
+        if power_per_cell.shape != (grid.ny, grid.nx):
+            raise ValueError(
+                f"power map shape {power_per_cell.shape} does not match grid "
+                f"({grid.ny}, {grid.nx})"
+            )
+
+    def fill_grid_rhs(self, power_per_cell: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Write the grid-node RHS into a reusable buffer.
+
+        Only the active-layer span is ever non-zero, so a caller that keeps
+        ``out`` zero elsewhere (as :class:`~repro.thermal.solver.ThermalSolver`
+        does) pays one slice assignment per solve instead of a fresh
+        full-length allocation.
+
+        Args:
+            power_per_cell: Array of shape ``(ny, nx)`` with watts per cell.
+            out: Vector of length ``grid.num_nodes`` to fill in place.
+
+        Returns:
+            ``out``.
+        """
+        self.validate_power_map(power_per_cell)
+        grid = self.grid
+        offset = grid.active_layer_offset()
+        out[offset: offset + grid.nx * grid.ny] = power_per_cell.ravel()
+        return out
+
     def power_vector(self, power_per_cell: np.ndarray) -> np.ndarray:
         """Build the right-hand-side current vector from a 2-D power map.
+
+        Convenience path (SPICE export, tests); the solver's hot loop uses
+        :meth:`fill_grid_rhs` with a reused buffer instead.
 
         Args:
             power_per_cell: Array of shape ``(ny, nx)`` with the power in
@@ -239,23 +276,44 @@ class ThermalNetwork:
         Raises:
             ValueError: If the power map shape does not match the grid.
         """
-        grid = self.grid
-        if power_per_cell.shape != (grid.ny, grid.nx):
-            raise ValueError(
-                f"power map shape {power_per_cell.shape} does not match grid "
-                f"({grid.ny}, {grid.nx})"
-            )
         rhs = np.zeros(self.num_unknowns)
-        offset = grid.active_layer_offset()
-        rhs[offset: offset + grid.nx * grid.ny] = power_per_cell.ravel()
+        self.fill_grid_rhs(power_per_cell, rhs[: self.grid.num_nodes])
         return rhs
 
     def elements(self) -> NetworkElements:
         """Enumerate the network's conductances for SPICE export.
 
         Ambient is reported as node ``-1``.  Node-to-ground conductances are
-        recovered from the matrix diagonal minus the off-diagonal sums.
+        recovered from the matrix diagonal minus the off-diagonal sums.  The
+        enumeration is pure array arithmetic over the COO triplets, so SPICE
+        export stays O(nnz) in NumPy rather than interpreter time.
         """
+        full = self.conductance_matrix
+        matrix = full.tocoo()
+        row, col, val = matrix.row, matrix.col, matrix.data
+
+        upper = (row < col) & (np.abs(val) > 1e-18)
+        conductances: List[Tuple[int, int, float]] = list(
+            zip(row[upper].tolist(), col[upper].tolist(), (-val[upper]).tolist())
+        )
+
+        offdiag_sum = np.zeros(self.num_unknowns)
+        offdiag = row != col
+        np.add.at(offdiag_sum, row[offdiag], -val[offdiag])
+        ground = full.diagonal() - offdiag_sum
+        grounded = ground > 1e-18
+        conductances.extend(
+            (int(node), -1, float(g))
+            for node, g in zip(np.nonzero(grounded)[0].tolist(), ground[grounded].tolist())
+        )
+        return NetworkElements(
+            conductances=conductances,
+            num_nodes=self.num_unknowns,
+            package_node=self.package_node,
+        )
+
+    def _elements_reference(self) -> NetworkElements:
+        """Per-nonzero Python enumeration (executable spec for tests)."""
         full = self.conductance_matrix
         matrix = full.tocoo()
         conductances: List[Tuple[int, int, float]] = []

@@ -11,6 +11,7 @@ design plus a power report to a :class:`~repro.thermal.thermal_map.ThermalMap`
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -75,6 +76,12 @@ class ThermalSolver:
             permc_spec=permc_spec,
             **splu_kwargs,
         )
+        # Reused RHS buffer: only the active-layer span is ever written, the
+        # rest stays zero, so repeated solves (campaign sweeps, the leakage
+        # feedback loop) allocate nothing per point.  Thread-local because a
+        # SolverCache hands the same solver instance to every Campaign
+        # worker thread that shares a die geometry.
+        self._rhs_local = threading.local()
         self._package_solve: np.ndarray | None = None
         if self.network.package_node is not None:
             coupling = self.network.package_coupling
@@ -89,8 +96,10 @@ class ThermalSolver:
         Returns:
             The resulting :class:`ThermalMap`.
         """
-        rhs_full = self.network.power_vector(power_per_cell)
-        rhs = rhs_full[: self.grid.num_nodes]
+        buffer = getattr(self._rhs_local, "rhs", None)
+        if buffer is None:
+            buffer = self._rhs_local.rhs = np.zeros(self.grid.num_nodes)
+        rhs = self.network.fill_grid_rhs(power_per_cell, buffer)
         base = self._factorized.solve(rhs)
 
         if self._package_solve is None:
@@ -182,11 +191,48 @@ def simulate_placement(
     return solver.solve_power_map(power_map)
 
 
+def cell_temperature_array(
+    placement: Placement,
+    thermal_map: ThermalMap,
+    nx: int = 40,
+    ny: int = 40,
+    default: float = 25.0,
+) -> np.ndarray:
+    """Per-cell temperatures as a vector aligned with the compiled cell order.
+
+    One fancy-indexed lookup into the thermal map using the same binning as
+    :func:`~repro.power.power_map.build_power_map`.  Unplaced and filler
+    cells (which :func:`cell_temperatures` omits from its dict) carry
+    ``default``, matching how
+    :meth:`~repro.power.power_model.PowerModel.estimate_with_temperature_map`
+    treats missing cells.
+
+    Args:
+        placement: The placed design.
+        thermal_map: An active-layer thermal map at ``(ny, nx)`` resolution.
+        nx: Grid cells in x.
+        ny: Grid cells in y.
+        default: Temperature assigned to cells without a bin lookup.
+
+    Returns:
+        Vector of length ``num_cells`` in Celsius.
+    """
+    from ..power.power_map import cell_bin_indices
+
+    comp = placement.netlist.compiled()
+    iy, ix, placed = cell_bin_indices(placement, nx=nx, ny=ny, over_die=True)
+    mask = placed & ~comp.is_filler
+    temps = np.full(comp.num_cells, float(default))
+    temps[mask] = thermal_map.temperatures[iy[mask], ix[mask]]
+    return temps
+
+
 def cell_temperatures(
     placement: Placement,
     thermal_map: ThermalMap,
     nx: int = 40,
     ny: int = 40,
+    engine: Optional[str] = None,
 ) -> dict:
     """Per-cell temperatures read off a thermal map.
 
@@ -198,14 +244,26 @@ def cell_temperatures(
         thermal_map: An active-layer thermal map at ``(ny, nx)`` resolution.
         nx: Grid cells in x.
         ny: Grid cells in y.
+        engine: ``"compiled"`` (one fancy-indexed lookup) or ``"reference"``
+            (cell-at-a-time); defaults to the process-wide engine.
 
     Returns:
         Mapping of cell name to its bin temperature in Celsius.
     """
-    return {
-        cell.name: float(thermal_map.temperatures[iy, ix])
-        for cell, iy, ix in iter_cell_bins(placement, nx=nx, ny=ny, over_die=True)
-    }
+    from ..engine import resolve_engine
+    from ..power.power_map import cell_bin_indices
+
+    if resolve_engine(engine) == "reference":
+        return {
+            cell.name: float(thermal_map.temperatures[iy, ix])
+            for cell, iy, ix in iter_cell_bins(placement, nx=nx, ny=ny, over_die=True)
+        }
+    comp = placement.netlist.compiled()
+    iy, ix, placed = cell_bin_indices(placement, nx=nx, ny=ny, over_die=True)
+    mask = placed & ~comp.is_filler
+    temps = thermal_map.temperatures[iy[mask], ix[mask]]
+    names = [name for name, keep in zip(comp.cell_names, mask.tolist()) if keep]
+    return dict(zip(names, temps.tolist()))
 
 
 def simulate_with_leakage_feedback(
@@ -217,6 +275,7 @@ def simulate_with_leakage_feedback(
     ny: int = 40,
     iterations: int = 3,
     cache: "Optional[SolverCache]" = None,
+    engine: Optional[str] = None,
 ) -> ThermalMap:
     """Thermal simulation with leakage/temperature feedback iterations.
 
@@ -247,14 +306,31 @@ def simulate_with_leakage_feedback(
         solver = cache.solver_for_placement(placement, package=package, nx=nx, ny=ny)
     else:
         solver = ThermalSolver(grid_for_placement(placement, package=package, nx=nx, ny=ny))
-    power = power_model.estimate(netlist, activity)
-    thermal_map = simulate_placement(
-        placement, power, package=package, nx=nx, ny=ny, solver=solver
-    )
-    for _ in range(iterations - 1):
-        cell_temps = cell_temperatures(placement, thermal_map, nx=nx, ny=ny)
-        power = power_model.estimate_with_temperature_map(netlist, activity, cell_temps)
+    from ..engine import resolve_engine, use_engine
+
+    resolved = resolve_engine(engine)
+    # Pin the whole loop (including the binning inside simulate_placement,
+    # which has no engine parameter of its own) to the resolved engine, so
+    # engine="reference" really is a pure reference run.
+    with use_engine(resolved):
+        power = power_model.estimate(netlist, activity)
         thermal_map = simulate_placement(
             placement, power, package=package, nx=nx, ny=ny, solver=solver
         )
+        for _ in range(iterations - 1):
+            if resolved == "reference":
+                cell_temps = cell_temperatures(placement, thermal_map, nx=nx, ny=ny)
+            else:
+                # Array round-trip: the per-cell temperature vector feeds
+                # the power model directly, with no name-keyed dict between.
+                cell_temps = cell_temperature_array(
+                    placement, thermal_map, nx=nx, ny=ny,
+                    default=power_model.temperature,
+                )
+            power = power_model.estimate_with_temperature_map(
+                netlist, activity, cell_temps
+            )
+            thermal_map = simulate_placement(
+                placement, power, package=package, nx=nx, ny=ny, solver=solver
+            )
     return thermal_map

@@ -15,6 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from ..engine import resolve_engine
 from ..netlist import Netlist
 from .delay import DelayModel
 
@@ -89,19 +92,34 @@ class StaticTimingAnalyzer:
         self.netlist = netlist
         self.delay_model = delay_model if delay_model is not None else DelayModel()
         self.clock_period_ps = clock_period_ps
-        self._order = netlist.levelize()
+        self._order_cache = None
+
+    @property
+    def _order(self):
+        """Topological order (built on first reference-engine use)."""
+        if self._order_cache is None:
+            self._order_cache = self.netlist.levelize()
+        return self._order_cache
 
     # ------------------------------------------------------------------
 
-    def analyze(self, temperature: Optional[float] = None) -> TimingReport:
+    def analyze(
+        self, temperature: Optional[float] = None, engine: Optional[str] = None
+    ) -> TimingReport:
         """Run the analysis and return a :class:`TimingReport`.
 
         Args:
             temperature: Optional uniform operating temperature in Celsius;
                 defaults to the delay model's temperature.
+            engine: ``"compiled"`` (level-by-level array propagation) or
+                ``"reference"`` (pin-by-pin); defaults to the process-wide
+                engine (see :mod:`repro.engine`).
         """
-        arrival, predecessor = self._propagate(temperature)
-        endpoints = self._collect_endpoints(arrival)
+        if resolve_engine(engine) == "reference":
+            arrival, predecessor = self._propagate(temperature)
+            endpoints = self._collect_endpoints(arrival)
+        else:
+            return self._analyze_compiled(temperature)
 
         if not endpoints:
             return TimingReport(
@@ -128,6 +146,143 @@ class StaticTimingAnalyzer:
             worst_path=worst_path,
             num_endpoints=len(endpoints),
         )
+
+    # ------------------------------------------------------------------
+    # Compiled engine: level-by-level array propagation
+    # ------------------------------------------------------------------
+
+    def _analyze_compiled(self, temperature: Optional[float]) -> TimingReport:
+        comp = self.netlist.compiled()
+        model = self.delay_model
+        cell_derate = model.cell_derating(temperature)
+        wire_derate = model.wire_derating(temperature)
+
+        # Per-net electrical vectors, extended by the zero/trash slots so
+        # fanin/output slot arrays can index them directly.
+        lengths = comp.net_length_um(model.fallback_wireload_um)
+        load_ff = comp.sink_pin_cap_ff + model.wire_cap_per_um * lengths
+        wire_delay = (
+            0.5
+            * (model.wire_res_per_um * lengths)
+            * (model.wire_cap_per_um * lengths)
+            * 1e-3
+            * wire_derate
+        )
+        load_slots = np.zeros(comp.num_slots)
+        load_slots[: comp.num_nets] = load_ff
+        wire_slots = np.zeros(comp.num_slots)
+        wire_slots[: comp.num_nets] = wire_delay
+
+        arrival = np.zeros(comp.num_slots)
+        pred = np.full(comp.num_slots, -1, dtype=np.int64)
+        known = np.zeros(comp.num_slots, dtype=bool)
+
+        # Launch points: primary-input nets and flip-flop output nets.
+        for _, slot in comp.pi_ports:
+            if slot >= 0:
+                known[slot] = True
+        if comp.launch_net.size:
+            clk_to_q = comp.intrinsic_delay_ps[comp.launch_cell] * cell_derate
+            arrival[comp.launch_net] = clk_to_q + wire_slots[comp.launch_net]
+            pred[comp.launch_net] = comp.launch_cell
+            known[comp.launch_net] = True
+
+        # Levelized propagation; groups within a level are independent.
+        for level in comp.levels:
+            for group in level:
+                if group.fanin.shape[1]:
+                    input_arrival = np.maximum(arrival[group.fanin].max(axis=1), 0.0)
+                else:
+                    input_arrival = np.zeros(group.cells.shape[0])
+                intrinsic = comp.intrinsic_delay_ps[group.cells]
+                drive = comp.drive_res_kohm[group.cells]
+                for k in range(group.out.shape[1]):
+                    slots = group.out[:, k]
+                    valid = slots != comp.trash_slot
+                    if not valid.any():
+                        continue
+                    # Associates exactly as the reference does: stage =
+                    # cell_delay + wire_delay, then input_arrival + stage.
+                    stage = (intrinsic + drive * load_slots[slots]) * cell_derate
+                    stage = stage + wire_slots[slots]
+                    total = input_arrival + stage
+                    targets = slots[valid]
+                    arrival[targets] = total[valid]
+                    pred[targets] = group.cells[valid]
+                    known[targets] = True
+
+        num_endpoints = len(comp.ep_names)
+        if num_endpoints == 0:
+            return TimingReport(
+                critical_path_ps=0.0,
+                clock_period_ps=self.clock_period_ps,
+                worst_slack_ps=self.clock_period_ps,
+                worst_path=None,
+                num_endpoints=0,
+            )
+
+        endpoint_arrival = arrival[comp.ep_slot] + comp.ep_setup
+        worst = int(np.argmax(endpoint_arrival))
+        worst_arrival = float(endpoint_arrival[worst])
+
+        worst_path = TimingPath(
+            endpoint=comp.ep_names[worst],
+            arrival_ps=worst_arrival,
+            slack_ps=self.clock_period_ps - worst_arrival,
+            through_cells=self._trace_path_compiled(
+                comp, int(comp.ep_slot[worst]), pred, known
+            ),
+        )
+        return TimingReport(
+            critical_path_ps=worst_arrival,
+            clock_period_ps=self.clock_period_ps,
+            worst_slack_ps=self.clock_period_ps - worst_arrival,
+            worst_path=worst_path,
+            num_endpoints=num_endpoints,
+        )
+
+    def _trace_path_compiled(
+        self,
+        comp,
+        endpoint_slot: int,
+        pred: np.ndarray,
+        known: np.ndarray,
+    ) -> List[str]:
+        """Walk the predecessor array back from an endpoint net.
+
+        Mirrors :meth:`_trace_path` exactly (same pin-selection quirks and
+        stop conditions) but reads the per-slot arrays directly, so only the
+        single critical path is materialised instead of a full name-keyed
+        predecessor dict.
+        """
+        path: List[str] = []
+        net_index = comp.net_index
+        current: Optional[int] = endpoint_slot
+        visited = set()
+        while current is not None and current not in visited:
+            visited.add(current)
+            if not known[current]:
+                break
+            cell_pos = int(pred[current])
+            if cell_pos < 0:
+                break
+            cell_name = comp.cell_names[cell_pos]
+            path.append(cell_name)
+            cell = self.netlist.cells.get(cell_name)
+            if cell is None or cell.is_sequential:
+                break
+            # Move to the slowest input net of this cell (reference
+            # semantics: the last driven input with an arrival entry).
+            best_slot: Optional[int] = None
+            for pin in cell.input_pins:
+                if pin.net is None:
+                    continue
+                slot = net_index.get(pin.net.name)
+                if slot is not None and known[slot]:
+                    best_slot = slot
+            current = best_slot
+        path.reverse()
+        return path
 
     # ------------------------------------------------------------------
 
