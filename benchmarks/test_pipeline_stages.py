@@ -1,22 +1,27 @@
 """Stage benchmarks: the compiled array engine versus the reference paths.
 
 Measures the flow's hot stages on the full (~12k cell) synthetic benchmark
-— logic simulation + power estimation, static timing, thermal-grid binning
-— and the quickstart flow end-to-end, with the compiled engine against the
-reference per-object loops.  Results are written to ``BENCH_pipeline.json``
-at the repository root so the perf trajectory is tracked as data, not
-anecdotes.
+— logic simulation + power estimation, static timing, thermal-grid binning,
+the steady-state thermal solve — and the quickstart flow end-to-end, with
+the compiled engine against the reference per-object loops.  Results are
+written to ``BENCH_pipeline.json`` at the repository root so the perf
+trajectory is tracked as data, not anecdotes.
 
-Thresholds (asserted at full size): >=3x on logic-sim + power, >=2x on the
-end-to-end quickstart flow, >=2x on STA, >=3x on binning.  Set
-``REPRO_BENCH_SMOKE=1`` to run on the scaled-down benchmark instead (CI
-smoke): numbers are still recorded and engines are still checked for
-agreement, but the speedup floors are not enforced — tiny designs make
-wall-clock ratios meaningless on noisy runners.
+Thresholds (asserted at full size): >=3x on logic-sim + power, >=2.8x on
+the end-to-end quickstart flow, >=2x on STA, >=3x on binning, >=2.8x on a
+warm-started thermal feedback sequence (multigrid versus LU) — the two
+solver-stage floors sit ~10% under the typically measured 3.2x so runner
+noise cannot flake the suite; the recorded numbers tell the real story.
+Set ``REPRO_BENCH_SMOKE=1`` to run on the scaled-down benchmark (and a
+reduced thermal grid) instead (CI smoke): numbers are still recorded and
+backends are still checked for agreement, but the speedup floors are not
+enforced — tiny designs make wall-clock ratios meaningless on noisy
+runners.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import sys
@@ -33,7 +38,7 @@ from repro.bench import (
 )
 from repro.core import AreaManagementConfig, AreaManager
 from repro.engine import use_engine
-from repro.flow import ExperimentSetup
+from repro.flow import ExperimentSetup, SolverCache
 from repro.placement import place_design
 from repro.power import (
     LogicSimulator,
@@ -42,25 +47,36 @@ from repro.power import (
     build_power_map,
     generate_vectors,
 )
-from repro.thermal import simulate_placement
+from repro.thermal import ThermalSolver, grid_for_placement, simulate_placement
 from repro.timing import StaticTimingAnalyzer
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
 #: Speedup floors demanded of the compiled engine (full-size runs only).
 MIN_LOGICSIM_POWER_SPEEDUP = 3.0
-MIN_END_TO_END_SPEEDUP = 2.0
+MIN_END_TO_END_SPEEDUP = 2.8
 MIN_STA_SPEEDUP = 2.0
 MIN_BINNING_SPEEDUP = 3.0
+MIN_THERMAL_SOLVE_SPEEDUP = 2.8
+
+#: Thermal grid resolution of the thermal_solve stage: the paper's 40 x 40
+#: at full size, reduced for CI smoke so the LU baseline stays cheap.
+THERMAL_GRID = 24 if SMOKE else 40
 
 RESULTS: dict = {}
 
 
 def _best(fn, repeats: int = 3):
-    """Best wall-clock of ``repeats`` runs; returns (seconds, last result)."""
+    """Best wall-clock of ``repeats`` runs; returns (seconds, last result).
+
+    Garbage from earlier benchmark modules is collected before each run so
+    a GC pause triggered by unrelated fixtures never lands inside a timed
+    region.
+    """
     best = float("inf")
     value = None
     for _ in range(repeats):
+        gc.collect()
         start = time.perf_counter()
         value = fn()
         best = min(best, time.perf_counter() - start)
@@ -186,21 +202,113 @@ class TestPipelineStages:
                 f"binning only {speedup:.2f}x faster than reference"
             )
 
+    def test_thermal_solve_stage(self, pipeline_circuit):
+        """Steady-state thermal solve: LU versus multigrid, cold and warm.
+
+        Times the shape of the leakage-feedback loop — one solver setup for
+        a fresh die geometry followed by several re-solves with slightly
+        changed power — which is exactly what every sweep point and
+        feedback iteration pays.  The LU path factorises once and solves
+        triangularly; the multigrid path builds its hierarchy and
+        warm-starts every re-solve from the previous temperature field.
+        """
+        netlist = pipeline_circuit
+        placement = place_design(netlist, utilization=0.85)
+        activity = SwitchingActivity.uniform(netlist, 0.2)
+        power = PowerModel().estimate(netlist, activity)
+        grid = grid_for_placement(placement, nx=THERMAL_GRID, ny=THERMAL_GRID)
+        base_map = build_power_map(
+            placement, power, nx=THERMAL_GRID, ny=THERMAL_GRID
+        ).power_w
+        # Leakage-feedback-sized perturbations of the power map.
+        rng = np.random.default_rng(2010)
+        re_solves = [
+            base_map * (1.0 + 0.002 * rng.random(base_map.shape))
+            for _ in range(3)
+        ]
+
+        def lu_sequence():
+            solver = ThermalSolver(grid, method="lu")
+            maps = [solver.solve(base_map)]
+            maps.extend(solver.solve(power_map) for power_map in re_solves)
+            return maps
+
+        def mg_sequence():
+            solver = ThermalSolver(grid, method="multigrid")
+            maps = [solver.solve(base_map)]
+            for power_map in re_solves:
+                maps.append(solver.solve(power_map, x0=maps[-1].grid_rises))
+            return maps
+
+        # Interleave the timing rounds so machine-load drift during the
+        # benchmark biases neither backend.
+        lu_s = mg_s = float("inf")
+        lu_maps = mg_maps = None
+        for _ in range(4):
+            gc.collect()
+            start = time.perf_counter()
+            lu_maps = lu_sequence()
+            lu_s = min(lu_s, time.perf_counter() - start)
+            gc.collect()
+            start = time.perf_counter()
+            mg_maps = mg_sequence()
+            mg_s = min(mg_s, time.perf_counter() - start)
+
+        # Backend agreement on every map of the sequence.
+        for lu_map, mg_map in zip(lu_maps, mg_maps):
+            scale = np.abs(lu_map.rise_map()).max()
+            worst = np.abs(mg_map.rise_map() - lu_map.rise_map()).max() / scale
+            assert worst <= 1e-8, f"multigrid off by {worst:.2e} relative"
+
+        # Per-solve timings for the record: cold includes solver setup.
+        def lu_cold():
+            return ThermalSolver(grid, method="lu").solve(base_map)
+
+        def mg_cold():
+            return ThermalSolver(grid, method="multigrid").solve(base_map)
+
+        lu_cold_s, _ = _best(lu_cold)
+        mg_cold_s, _ = _best(mg_cold)
+        warm_solver = ThermalSolver(grid, method="multigrid")
+        warm_map = warm_solver.solve(base_map)
+        mg_warm_s, _ = _best(
+            lambda: warm_solver.solve(re_solves[0], x0=warm_map.grid_rises)
+        )
+
+        speedup = _record(
+            "thermal_solve", lu_s, mg_s,
+            floor=MIN_THERMAL_SOLVE_SPEEDUP,
+            grid=f"{THERMAL_GRID}x{THERMAL_GRID}x{grid.nz}",
+            num_re_solves=len(re_solves),
+            lu_cold_s=round(lu_cold_s, 6),
+            mg_cold_s=round(mg_cold_s, 6),
+            mg_warm_solve_s=round(mg_warm_s, 6),
+        )
+        if not SMOKE:
+            assert speedup >= MIN_THERMAL_SOLVE_SPEEDUP, (
+                f"warm-started multigrid feedback sequence only {speedup:.2f}x "
+                f"faster than the LU path"
+            )
+
     def test_quickstart_end_to_end(self):
         """The full quickstart flow: place, simulate, solve, ERI, re-solve.
 
         Each engine runs the complete flow on its own fresh circuit so
-        neither inherits compiled state or factorisations from the other.
+        neither inherits compiled state or prepared solvers from the other.
+        The reference side is pinned to the LU backend (the original
+        system); the compiled side uses the default auto-selected solver,
+        which picks multigrid at the quickstart grid.
         """
-        def quickstart(engine):
+        def quickstart(engine, solver_method):
             netlist = (
                 small_synthetic_circuit() if SMOKE else build_synthetic_circuit()
             )
+            cache = SolverCache(method=solver_method)
             with use_engine(engine):
                 start = time.perf_counter()
                 workload = scattered_hotspots_workload(netlist)
                 setup = ExperimentSetup.prepare(
-                    netlist, workload, base_utilization=0.85
+                    netlist, workload, base_utilization=0.85, cache=cache
                 )
                 manager = AreaManager(
                     AreaManagementConfig(strategy="eri", area_overhead=0.15)
@@ -209,24 +317,32 @@ class TestPipelineStages:
                     setup.placement, setup.power, setup.thermal_map
                 )
                 new_map = simulate_placement(
-                    result.placement, setup.power, package=setup.package
+                    result.placement, setup.power, package=setup.package,
+                    cache=cache, warm_start=setup.thermal_map,
                 )
                 elapsed = time.perf_counter() - start
             return elapsed, new_map.reduction_versus(setup.thermal_map)
 
         times = {"compiled": float("inf"), "reference": float("inf")}
         reductions = {}
-        for _ in range(2):
-            for engine in ("compiled", "reference"):
-                elapsed, reduction = quickstart(engine)
+        for _ in range(3):
+            for engine, solver_method in (
+                ("compiled", "auto"), ("reference", "lu"),
+            ):
+                gc.collect()
+                elapsed, reduction = quickstart(engine, solver_method)
                 times[engine] = min(times[engine], elapsed)
                 reductions[engine] = reduction
 
+        # The engines agree to rounding; the solver backends (multigrid on
+        # the compiled side, LU on the reference side) to their iteration
+        # tolerance.
         assert reductions["compiled"] == pytest.approx(
-            reductions["reference"], rel=1e-9
+            reductions["reference"], rel=1e-6
         )
         speedup = _record(
             "quickstart_end_to_end", times["reference"], times["compiled"],
+            floor=MIN_END_TO_END_SPEEDUP,
             temperature_reduction=round(reductions["compiled"], 6),
         )
         if not SMOKE:

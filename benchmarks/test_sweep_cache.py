@@ -8,10 +8,12 @@ reuses the Default outline at every overhead, so a three-strategy sweep
 factorises 2/3 as many matrices) and a symmetric-mode ``MMD_AT_PLUS_A``
 ordering that roughly halves each remaining factorisation.
 
-``SolverCache(maxsize=0, permc_spec="COLAMD", symmetric_mode=False)``
-reproduces the seed behaviour exactly — a fresh grid, network and
-COLAMD-ordered factorisation per point, nothing retained — so the two
-timed paths differ only by the optimisations under test.
+``SolverCache(maxsize=0, method="lu", permc_spec="COLAMD",
+symmetric_mode=False)`` reproduces the seed behaviour exactly — a fresh
+grid, network and COLAMD-ordered factorisation per point, nothing retained
+— so the two timed paths differ only by the optimisations under test (the
+cached path additionally auto-selects the multigrid backend at the
+40 x 40 quickstart grid).
 """
 
 from __future__ import annotations
@@ -42,7 +44,9 @@ def test_cached_sweep_at_least_twice_as_fast_as_seed(quickstart_setup):
     setup = quickstart_setup
 
     def seed_sweep():
-        seed_config = SolverCache(maxsize=0, permc_spec="COLAMD", symmetric_mode=False)
+        seed_config = SolverCache(
+            maxsize=0, method="lu", permc_spec="COLAMD", symmetric_mode=False
+        )
         return sweep_overheads(setup, overheads=OVERHEADS, cache=seed_config)
 
     def cached_sweep():

@@ -146,6 +146,11 @@ def _add_common_arguments(parser: argparse.ArgumentParser, default_full: bool = 
         help="thermal grid resolution per axis (default: 40, as in the paper)",
     )
     parser.add_argument(
+        "--thermal-solver", choices=("auto", "lu", "multigrid"), default="auto",
+        help="steady-state solver backend: sparse LU factorisation, "
+             "geometric multigrid, or auto (pick by grid size; default)",
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="log per-point progress while the campaign runs",
     )
@@ -188,7 +193,7 @@ def _write_result(result: CampaignResult, args: argparse.Namespace, stem: str) -
 
 def run_quickstart(args: argparse.Namespace) -> int:
     """One strategy/overhead point end to end, with a human-readable report."""
-    cache = SolverCache()
+    cache = SolverCache(method=args.thermal_solver)
     setup = _prepare_setup(args, scattered_hotspots_workload, cache)
     floorplan = setup.placement.floorplan
     print(f"benchmark: {setup.netlist.name}, {setup.netlist.num_cells} cells")
@@ -224,7 +229,7 @@ def run_quickstart(args: argparse.Namespace) -> int:
 
 def run_sweep(args: argparse.Namespace) -> int:
     """The Figure-6 (strategy x overhead) grid via the campaign runner."""
-    cache = SolverCache()
+    cache = SolverCache(method=args.thermal_solver)
     setup = _prepare_setup(args, scattered_hotspots_workload, cache)
     campaign = Campaign(
         setup,
@@ -233,6 +238,7 @@ def run_sweep(args: argparse.Namespace) -> int:
         analyze_timing=args.timing,
         cache=cache,
         name="figure6-sweep",
+        batch_solves=True,
     )
     result = campaign.run(max_workers=args.jobs)
     result.metadata.update({
@@ -241,16 +247,17 @@ def run_sweep(args: argparse.Namespace) -> int:
         "baseline_peak_rise_k": setup.thermal_map.peak_rise,
     })
     print(figure6_report(result.outcomes()))
-    stats = cache.stats()
     print(f"{len(result.records)} points in {result.metadata['elapsed_s']:.2f}s "
-          f"(solver cache: {stats.hits} hits / {stats.misses} factorisations)")
+          f"(solver cache: {result.cache_hits} hits / {result.cache_misses} "
+          f"builds, {result.cache_hit_rate * 100:.0f}% hit rate, "
+          f"{result.metadata['num_solve_groups']} batched solve groups)")
     _write_result(result, args, "figure6")
     return 0
 
 
 def run_table1(args: argparse.Namespace) -> int:
     """The Table-I concentrated-hotspot comparison (Default versus ERI)."""
-    cache = SolverCache()
+    cache = SolverCache(method=args.thermal_solver)
     setup = _prepare_setup(args, concentrated_hotspot_workload, cache)
     start = time.perf_counter()
     outcomes = concentrated_hotspot_table(

@@ -270,14 +270,35 @@ class AreaManager:
         package: Optional[Package] = None,
         nx: int = 40,
         ny: int = 40,
+        cache=None,
+        method: Optional[str] = None,
     ) -> tuple:
         """Run :meth:`optimize` and re-run the thermal simulation on the result.
+
+        The re-solve warm-starts from the input map's temperature field:
+        the transformed die keeps the grid resolution, so the baseline
+        rises are an excellent multigrid starting guess (the LU backend
+        ignores them).
+
+        Args:
+            placement: The baseline placed design.
+            power: Cell-by-cell power report.
+            thermal_map: Thermal map of the baseline placement.
+            package: Thermal stack for the re-simulation.
+            nx: Grid cells in x.
+            ny: Grid cells in y.
+            cache: Optional :class:`repro.flow.cache.SolverCache` to share
+                the prepared solver with other simulations.
+            method: Thermal solver backend (``"lu"``/``"multigrid"``/``"auto"``).
 
         Returns:
             ``(result, new_thermal_map)``.
         """
         result = self.optimize(placement, power, thermal_map)
-        new_map = simulate_placement(result.placement, power, package=package, nx=nx, ny=ny)
+        new_map = simulate_placement(
+            result.placement, power, package=package, nx=nx, ny=ny,
+            cache=cache, method=method, warm_start=thermal_map,
+        )
         return result, new_map
 
 

@@ -79,6 +79,7 @@ def detect_hotspots(
     threshold_fraction: float = 0.85,
     min_bins: int = 1,
     max_hotspots: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> List[Hotspot]:
     """Detect hotspots as connected regions above a temperature threshold.
 
@@ -99,6 +100,10 @@ def detect_hotspots(
             (``rise_max - rise_min``) above which a cell counts as hot.
         min_bins: Minimum number of grid bins for a component to count.
         max_hotspots: Keep only the hottest N hotspots when given.
+        engine: ``"compiled"`` (bincount attribution over compiled unit
+            codes) or ``"reference"`` (cell-at-a-time dict accumulation);
+            defaults to the process-wide engine.  Both produce identical
+            hotspots.
 
     Returns:
         Hotspots sorted hottest first.
@@ -126,6 +131,25 @@ def detect_hotspots(
     origin_x = -floorplan.die_margin
     origin_y = -floorplan.die_margin
 
+    # Cell attribution is one fancy-indexed mask plus an np.bincount over
+    # compiled unit codes per hotspot — no Python loop over cells.  The
+    # centre arrays, unit codes and per-cell powers are gathered once here
+    # and shared by every component below.  Matches the cell-at-a-time
+    # reference (placement.cells_in_rect + dict accumulation) exactly:
+    # same half-open rectangle test, same cell order, and bincount adds
+    # each unit's contributions in the same sequence the loop would.
+    from ..engine import resolve_engine
+
+    compiled_engine = resolve_engine(engine) != "reference"
+    if compiled_engine:
+        comp = placement.netlist.compiled()
+        centers_x, centers_y, placed = placement.cell_center_arrays()
+        eligible = placed & ~comp.is_filler
+        if power is not None:
+            cell_power = power.total_for_names(comp.cell_names)
+        else:
+            cell_power = comp.cell_area_um2
+
     for component in range(1, num_components + 1):
         ys, xs = np.nonzero(labels == component)
         if len(ys) < min_bins:
@@ -147,14 +171,41 @@ def detect_hotspots(
             origin_y + (peak_bin[0] + 0.5) * bin_h,
         )
 
-        cells = placement.cells_in_rect(rect) if rect.area > 0 else []
-        unit_power: Dict[str, float] = {}
-        total_power = 0.0
-        for cell in cells:
-            cell_power = power.power_of(cell.name) if power is not None else cell.area
-            unit_power[cell.unit] = unit_power.get(cell.unit, 0.0) + cell_power
-            total_power += cell_power
-        dominant = [u for u, _p in sorted(unit_power.items(), key=lambda kv: -kv[1])]
+        if compiled_engine:
+            if rect.area > 0:
+                inside = (
+                    eligible
+                    & (centers_x >= rect.x0) & (centers_x < rect.x1)
+                    & (centers_y >= rect.y0) & (centers_y < rect.y1)
+                )
+                selected = np.nonzero(inside)[0]
+            else:
+                selected = np.empty(0, dtype=np.int64)
+            selected_codes = comp.unit_codes[selected]
+            unit_sums = np.bincount(
+                selected_codes, weights=cell_power[selected], minlength=comp.num_units
+            )
+            # Units in first-seen cell order, then stable-sorted by
+            # decreasing power: identical ordering to the reference dict
+            # accumulation.
+            unique_codes, first_seen = np.unique(selected_codes, return_index=True)
+            appearance = unique_codes[np.argsort(first_seen, kind="stable")]
+            dominant = [
+                comp.unit_names[code]
+                for code in sorted(appearance.tolist(), key=lambda c: -unit_sums[c])
+            ]
+            total_power = float(cell_power[selected].sum())
+            num_cells = int(selected.size)
+        else:
+            cells = placement.cells_in_rect(rect) if rect.area > 0 else []
+            unit_power: Dict[str, float] = {}
+            total_power = 0.0
+            for cell in cells:
+                one = power.power_of(cell.name) if power is not None else cell.area
+                unit_power[cell.unit] = unit_power.get(cell.unit, 0.0) + one
+                total_power += one
+            dominant = [u for u, _p in sorted(unit_power.items(), key=lambda kv: -kv[1])]
+            num_cells = len(cells)
 
         hotspots.append(
             Hotspot(
@@ -166,7 +217,7 @@ def detect_hotspots(
                 peak_xy_um=peak_xy,
                 dominant_units=dominant,
                 power_w=total_power if power is not None else 0.0,
-                num_cells=len(cells),
+                num_cells=num_cells,
             )
         )
 

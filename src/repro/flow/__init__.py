@@ -11,9 +11,12 @@ from .experiment import (
     DEFAULT_OVERHEADS,
     DEFAULT_STRATEGIES,
     ExperimentSetup,
+    PreparedEvaluation,
     StrategyOutcome,
     concentrated_hotspot_table,
     evaluate_strategy,
+    finish_evaluation,
+    prepare_evaluation,
     sweep_overheads,
 )
 from .runner import (
@@ -30,9 +33,12 @@ __all__ = [
     "geometry_key",
     "package_fingerprint",
     "ExperimentSetup",
+    "PreparedEvaluation",
     "StrategyOutcome",
     "concentrated_hotspot_table",
     "evaluate_strategy",
+    "finish_evaluation",
+    "prepare_evaluation",
     "sweep_overheads",
     "DEFAULT_OVERHEADS",
     "DEFAULT_STRATEGIES",

@@ -24,7 +24,7 @@ from typing import Dict, Optional, Tuple
 
 from ..placement import Placement
 from ..thermal import Package, ThermalGrid, ThermalSolver, default_package
-from ..thermal.solver import grid_for_placement
+from ..thermal.solver import grid_for_placement, resolve_thermal_method
 
 
 def package_fingerprint(package: Package) -> Tuple:
@@ -49,18 +49,28 @@ def package_fingerprint(package: Package) -> Tuple:
     )
 
 
-#: Cache key: (die width, die height, nx, ny, keep_full_field, package).
-GeometryKey = Tuple[float, float, int, int, bool, Tuple]
+#: Cache key: (die width, die height, nx, ny, keep_full_field, resolved
+#: solver method, package).
+GeometryKey = Tuple[float, float, int, int, bool, str, Tuple]
 
 
-def geometry_key(grid: ThermalGrid, keep_full_field: bool = False) -> GeometryKey:
-    """The :class:`SolverCache` key for a thermal grid."""
+def geometry_key(
+    grid: ThermalGrid, keep_full_field: bool = False, method: str = "auto"
+) -> GeometryKey:
+    """The :class:`SolverCache` key for a thermal grid.
+
+    The *resolved* solver method is part of the key: a cached LU
+    factorisation must never be handed to a multigrid request (or vice
+    versa), even when both were asked for as ``"auto"`` under different
+    conditions.
+    """
     return (
         grid.width_um,
         grid.height_um,
         grid.nx,
         grid.ny,
         keep_full_field,
+        resolve_thermal_method(method, grid),
         package_fingerprint(grid.package),
     )
 
@@ -109,18 +119,26 @@ class SolverCache:
     different key, so stale factorisations can never be returned.
 
     Args:
-        maxsize: Maximum number of factorisations to retain (least recently
-            used evicted first).  ``None`` means unbounded; ``0`` disables
-            retention entirely, turning the cache into a plain solver
-            factory (useful for baseline timing comparisons).
+        maxsize: Maximum number of prepared solvers to retain (least
+            recently used evicted first).  ``None`` means unbounded; ``0``
+            disables retention entirely, turning the cache into a plain
+            solver factory (useful for baseline timing comparisons).
+        method: Solver backend every cached solver is built with —
+            ``"lu"``, ``"multigrid"`` or ``"auto"`` (per-grid size
+            heuristic).  Overridable per request via :meth:`solver`'s
+            ``method`` argument; the *resolved* method is always part of
+            the cache key.
         **solver_kwargs: Extra keyword arguments forwarded to every
             :class:`ThermalSolver` built by this cache (e.g. ``permc_spec``).
     """
 
-    def __init__(self, maxsize: Optional[int] = None, **solver_kwargs) -> None:
+    def __init__(
+        self, maxsize: Optional[int] = None, method: str = "auto", **solver_kwargs
+    ) -> None:
         if maxsize is not None and maxsize < 0:
             raise ValueError("maxsize must be None or >= 0")
         self.maxsize = maxsize
+        self.method = method
         self._solver_kwargs = dict(solver_kwargs)
         self._lock = threading.Lock()
         self._solvers: "OrderedDict[GeometryKey, ThermalSolver]" = OrderedDict()
@@ -131,14 +149,44 @@ class SolverCache:
 
     # -- lookup --------------------------------------------------------------
 
-    def solver(self, grid: ThermalGrid, keep_full_field: bool = False) -> ThermalSolver:
-        """Return the factorised solver for ``grid``, building it on a miss.
+    def key_for(
+        self,
+        grid: ThermalGrid,
+        keep_full_field: bool = False,
+        method: Optional[str] = None,
+    ) -> GeometryKey:
+        """The cache key this cache would use for ``grid``.
+
+        Exposed so callers (e.g. the campaign runner's batched-solve
+        grouping) can group work by solver identity without building one.
+        """
+        return geometry_key(
+            grid,
+            keep_full_field=keep_full_field,
+            method=self.method if method is None else method,
+        )
+
+    def solver(
+        self,
+        grid: ThermalGrid,
+        keep_full_field: bool = False,
+        method: Optional[str] = None,
+    ) -> ThermalSolver:
+        """Return the prepared solver for ``grid``, building it on a miss.
 
         Concurrent requests for the same geometry block on a per-key lock so
-        the factorisation runs once; requests for different geometries
-        factorise in parallel.
+        the solver setup runs once; requests for different geometries
+        build in parallel.
+
+        Args:
+            grid: The thermal mesh.
+            keep_full_field: Keep 3-D fields on results.
+            method: Per-request override of the cache's solver method.
         """
-        key = geometry_key(grid, keep_full_field=keep_full_field)
+        resolved = resolve_thermal_method(
+            self.method if method is None else method, grid
+        )
+        key = geometry_key(grid, keep_full_field=keep_full_field, method=resolved)
         with self._lock:
             cached = self._solvers.get(key)
             if cached is not None:
@@ -156,7 +204,8 @@ class SolverCache:
                         self._solvers.move_to_end(key)
                         return cached
                 solver = ThermalSolver(
-                    grid, keep_full_field=keep_full_field, **self._solver_kwargs
+                    grid, keep_full_field=keep_full_field, method=resolved,
+                    **self._solver_kwargs,
                 )
                 with self._lock:
                     self._misses += 1
@@ -182,11 +231,12 @@ class SolverCache:
         nx: int = 40,
         ny: int = 40,
         keep_full_field: bool = False,
+        method: Optional[str] = None,
     ) -> ThermalSolver:
         """Solver for a placement's die outline (see :meth:`solver`)."""
         pkg = package if package is not None else default_package()
         grid = grid_for_placement(placement, package=pkg, nx=nx, ny=ny)
-        return self.solver(grid, keep_full_field=keep_full_field)
+        return self.solver(grid, keep_full_field=keep_full_field, method=method)
 
     def __contains__(self, key: GeometryKey) -> bool:
         with self._lock:

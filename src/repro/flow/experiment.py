@@ -36,7 +36,14 @@ from ..netlist import Netlist
 from ..placement import Placement, place_design
 from ..power import PowerModel, PowerReport, build_power_map, estimate_activity
 from ..power.power_map import PowerMap
-from ..thermal import Package, ThermalMap, default_package, simulate_placement
+from ..thermal import (
+    Package,
+    ThermalGrid,
+    ThermalMap,
+    default_package,
+    simulate_placement,
+)
+from ..thermal.solver import grid_for_placement
 from ..timing import DelayModel, StaticTimingAnalyzer, TimingReport
 from .cache import SolverCache
 
@@ -198,6 +205,106 @@ class StrategyOutcome:
     num_fillers: int
 
 
+@dataclass
+class PreparedEvaluation:
+    """The transform half of one evaluation point, before the thermal solve.
+
+    Produced by :func:`prepare_evaluation`; :func:`finish_evaluation` turns
+    it (plus a solved thermal map) into a :class:`StrategyOutcome`.  The
+    split lets :class:`~repro.flow.runner.Campaign` run all transforms
+    first, group the resulting power maps by die geometry and solve each
+    group as one batched multi-RHS block.
+
+    Attributes:
+        setup: The experiment baseline the point was evaluated against.
+        strategy_spec: Canonical spec string of the resolved strategy.
+        requested_overhead: Requested area overhead fraction.
+        result: The area-management result (transformed placement).
+        power_map: The transformed placement's binned power map.
+        grid: Thermal grid covering the transformed die outline.
+    """
+
+    setup: ExperimentSetup
+    strategy_spec: str
+    requested_overhead: float
+    result: object
+    power_map: PowerMap
+    grid: ThermalGrid
+
+
+def prepare_evaluation(
+    setup: ExperimentSetup,
+    strategy: StrategySpec,
+    area_overhead: float,
+    hotspot_threshold: Optional[float] = None,
+    wrapper_ring_um: float = 6.0,
+) -> PreparedEvaluation:
+    """Apply one strategy at one overhead, stopping short of the solve.
+
+    Runs the area-management transform and bins the transformed placement's
+    power map, returning everything the thermal solve and the outcome
+    extraction need.
+    """
+    config = AreaManagementConfig(
+        area_overhead=area_overhead,
+        strategy=strategy,
+        hotspot_threshold=hotspot_threshold,
+        wrapper_ring_um=wrapper_ring_um,
+    )
+    manager = AreaManager(config)
+    # The manager re-detects hotspots with its per-strategy threshold: empty
+    # row insertion targets the broad warm area, the wrapper the tight core.
+    result = manager.optimize(setup.placement, setup.power, setup.thermal_map)
+    power_map = build_power_map(
+        result.placement, setup.power, nx=setup.grid_nx, ny=setup.grid_ny,
+        over_die=True,
+    )
+    grid = grid_for_placement(
+        result.placement, package=setup.package, nx=setup.grid_nx, ny=setup.grid_ny
+    )
+    return PreparedEvaluation(
+        setup=setup,
+        strategy_spec=config.strategy_impl.spec,
+        requested_overhead=area_overhead,
+        result=result,
+        power_map=power_map,
+        grid=grid,
+    )
+
+
+def finish_evaluation(
+    prepared: PreparedEvaluation,
+    new_map: ThermalMap,
+    analyze_timing: bool = True,
+) -> StrategyOutcome:
+    """Extract the :class:`StrategyOutcome` from a solved evaluation point."""
+    setup = prepared.setup
+    result = prepared.result
+    timing_overhead_value: Optional[float] = None
+    if analyze_timing:
+        delay_model = DelayModel(temperature=new_map.peak)
+        new_timing = StaticTimingAnalyzer(
+            result.placement.netlist,
+            delay_model=delay_model,
+            clock_period_ps=setup.timing.clock_period_ps,
+        ).analyze()
+        timing_overhead_value = new_timing.overhead_versus(setup.timing)
+
+    return StrategyOutcome(
+        strategy=prepared.strategy_spec,
+        requested_overhead=prepared.requested_overhead,
+        actual_overhead=result.actual_overhead,
+        temperature_reduction=new_map.reduction_versus(setup.thermal_map),
+        peak_rise=new_map.peak_rise,
+        gradient=new_map.gradient,
+        timing_overhead=timing_overhead_value,
+        inserted_rows=result.inserted_rows,
+        core_width=result.placement.floorplan.core_width,
+        core_height=result.placement.floorplan.core_height,
+        num_fillers=result.num_fillers,
+    )
+
+
 def evaluate_strategy(
     setup: ExperimentSetup,
     strategy: StrategySpec,
@@ -221,53 +328,40 @@ def evaluate_strategy(
         cache: Optional :class:`SolverCache` shared across evaluations;
             points whose transformed placements share a die outline (e.g.
             the hotspot wrapper reuses the Default outline at the same
-            overhead) then share one factorisation.
+            overhead) then share one prepared solver.
 
     Returns:
         The measured :class:`StrategyOutcome`.
     """
-    config = AreaManagementConfig(
-        area_overhead=area_overhead,
-        strategy=strategy,
+    prepared = prepare_evaluation(
+        setup,
+        strategy,
+        area_overhead,
         hotspot_threshold=hotspot_threshold,
         wrapper_ring_um=wrapper_ring_um,
     )
-    manager = AreaManager(config)
-    # The manager re-detects hotspots with its per-strategy threshold: empty
-    # row insertion targets the broad warm area, the wrapper the tight core.
-    result = manager.optimize(setup.placement, setup.power, setup.thermal_map)
+    # The transform already built the thermal grid, so the solver comes
+    # straight from it.  The re-solve warm-starts from the baseline
+    # temperature field: the transformed die shares the grid resolution,
+    # so the baseline rises are an excellent multigrid starting guess (LU
+    # simply ignores them).
+    if cache is not None:
+        solver = cache.solver(prepared.grid)
+    else:
+        from ..thermal import ThermalSolver
+
+        solver = ThermalSolver(prepared.grid)
     new_map = simulate_placement(
-        result.placement,
+        prepared.result.placement,
         setup.power,
         package=setup.package,
         nx=setup.grid_nx,
         ny=setup.grid_ny,
-        cache=cache,
+        solver=solver,
+        power_map=prepared.power_map,
+        warm_start=setup.thermal_map,
     )
-
-    timing_overhead_value: Optional[float] = None
-    if analyze_timing:
-        delay_model = DelayModel(temperature=new_map.peak)
-        new_timing = StaticTimingAnalyzer(
-            result.placement.netlist,
-            delay_model=delay_model,
-            clock_period_ps=setup.timing.clock_period_ps,
-        ).analyze()
-        timing_overhead_value = new_timing.overhead_versus(setup.timing)
-
-    return StrategyOutcome(
-        strategy=config.strategy_impl.spec,
-        requested_overhead=area_overhead,
-        actual_overhead=result.actual_overhead,
-        temperature_reduction=new_map.reduction_versus(setup.thermal_map),
-        peak_rise=new_map.peak_rise,
-        gradient=new_map.gradient,
-        timing_overhead=timing_overhead_value,
-        inserted_rows=result.inserted_rows,
-        core_width=result.placement.floorplan.core_width,
-        core_height=result.placement.floorplan.core_height,
-        num_fillers=result.num_fillers,
-    )
+    return finish_evaluation(prepared, new_map, analyze_timing=analyze_timing)
 
 
 def sweep_overheads(
@@ -348,6 +442,7 @@ def concentrated_hotspot_table(
         new_map = simulate_placement(
             eri.placement, setup.power, package=setup.package,
             nx=setup.grid_nx, ny=setup.grid_ny, cache=shared_cache,
+            warm_start=setup.thermal_map,
         )
         timing_overhead_value: Optional[float] = None
         if analyze_timing:

@@ -89,63 +89,39 @@ class CompiledNetlist:
         self.trash_slot = self.num_nets + 1
         self.num_slots = self.num_nets + 2
 
-        # -- per-cell electrical vectors ---------------------------------
+        # -- per-cell geometry vectors -----------------------------------
         masters = [c.master for c in cells]
-        self.leakage_nw = np.array([m.leakage_nw for m in masters], dtype=float)
-        self.internal_energy_fj = np.array(
-            [m.internal_energy_fj for m in masters], dtype=float
-        )
-        self.intrinsic_delay_ps = np.array(
-            [m.intrinsic_delay_ps for m in masters], dtype=float
-        )
-        self.drive_res_kohm = np.array([m.drive_res_kohm for m in masters], dtype=float)
+        self._masters = masters
         self.cell_width_um = np.array([c.width for c in cells], dtype=float)
-        self.is_sequential = np.array([m.is_sequential for m in masters], dtype=bool)
+        self.cell_area_um2 = np.array([c.area for c in cells], dtype=float)
         self.is_filler = np.array([m.is_filler for m in masters], dtype=bool)
+        # Electrical vectors (leakage, energies, delays) are built lazily —
+        # see the properties below — so consumers that only need geometry
+        # (power binning, hotspot attribution on a freshly transformed
+        # netlist) skip the master-cell gathers entirely.
+        self._electrical: Optional[Tuple[np.ndarray, ...]] = None
 
-        # -- per-net load vectors ----------------------------------------
-        sink_pin_cap = np.zeros(self.num_nets)
-        num_sinks = np.zeros(self.num_nets, dtype=np.int64)
-        for i, net in enumerate(nets):
-            # Summed in sink-pin order, matching the reference loop exactly.
-            sink_pin_cap[i] = sum(p.cell.master.input_cap_ff for p in net.sink_pins)
-            num_sinks[i] = net.num_sinks
-        self.sink_pin_cap_ff = sink_pin_cap
-        self.num_sinks = num_sinks
+        # -- per-cell unit codes -----------------------------------------
+        # Dense integer codes for the logical unit each cell belongs to, in
+        # first-seen cell order; lets hotspot attribution and other
+        # per-unit reductions run as one np.bincount instead of a Python
+        # dict accumulation.
+        unit_code_of: Dict[str, int] = {}
+        codes = np.empty(self.num_cells, dtype=np.int64)
+        for i, cell in enumerate(cells):
+            code = unit_code_of.setdefault(cell.unit, len(unit_code_of))
+            codes[i] = code
+        self.unit_names: List[str] = list(unit_code_of)
+        self.unit_codes = codes
+        self.num_units = len(self.unit_names)
 
-        # -- connected output pins of non-filler cells -------------------
-        outpin_cell: List[int] = []
-        outpin_net: List[int] = []
-        net_index = self.net_index
-        for ci, cell in enumerate(cells):
-            if cell.is_filler:
-                continue
-            for pin in cell.output_pins:
-                if pin.net is not None:
-                    outpin_cell.append(ci)
-                    outpin_net.append(net_index[pin.net.name])
-        self.outpin_cell = np.array(outpin_cell, dtype=np.int64)
-        self.outpin_net = np.array(outpin_net, dtype=np.int64)
-
-        # -- sequential cells --------------------------------------------
-        seq_cells: List[int] = []
-        seq_d_slot: List[int] = []
-        seq_q_slot: List[int] = []
-        for ci, cell in enumerate(cells):
-            if not cell.is_sequential:
-                continue
-            in_pins = cell.input_pins
-            out_pins = cell.output_pins
-            d = in_pins[0].net if in_pins else None
-            q = out_pins[0].net if out_pins else None
-            seq_cells.append(ci)
-            seq_d_slot.append(net_index[d.name] if d is not None else self.zero_slot)
-            seq_q_slot.append(net_index[q.name] if q is not None else self.trash_slot)
-        self.seq_cells = np.array(seq_cells, dtype=np.int64)
-        self.seq_d_slot = np.array(seq_d_slot, dtype=np.int64)
-        self.seq_q_slot = np.array(seq_q_slot, dtype=np.int64)
+        # -- per-net load vectors (lazy, see properties below) -----------
+        self._net_loads: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._outpins: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._sequential: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
         # -- primary ports -----------------------------------------------
+        net_index = self.net_index
         self.pi_ports: List[Tuple[str, int]] = [
             (p.name, net_index[p.net.name] if p.net is not None else -1)
             for p in netlist.primary_inputs
@@ -169,6 +145,137 @@ class CompiledNetlist:
     # ------------------------------------------------------------------
     # Lazy sections
     # ------------------------------------------------------------------
+
+    def _ensure_electrical(self) -> Tuple[np.ndarray, ...]:
+        if self._electrical is None:
+            masters = self._masters
+            self._electrical = (
+                np.array([m.leakage_nw for m in masters], dtype=float),
+                np.array([m.internal_energy_fj for m in masters], dtype=float),
+                np.array([m.intrinsic_delay_ps for m in masters], dtype=float),
+                np.array([m.drive_res_kohm for m in masters], dtype=float),
+                np.array([m.is_sequential for m in masters], dtype=bool),
+            )
+        return self._electrical
+
+    @property
+    def leakage_nw(self) -> np.ndarray:
+        """Per-cell leakage in nanowatts (built on first use)."""
+        return self._ensure_electrical()[0]
+
+    @property
+    def internal_energy_fj(self) -> np.ndarray:
+        """Per-cell internal switching energy in femtojoules."""
+        return self._ensure_electrical()[1]
+
+    @property
+    def intrinsic_delay_ps(self) -> np.ndarray:
+        """Per-cell intrinsic delay in picoseconds."""
+        return self._ensure_electrical()[2]
+
+    @property
+    def drive_res_kohm(self) -> np.ndarray:
+        """Per-cell drive resistance in kiloohms."""
+        return self._ensure_electrical()[3]
+
+    @property
+    def is_sequential(self) -> np.ndarray:
+        """Per-cell sequential-master flags."""
+        return self._ensure_electrical()[4]
+
+    def _ensure_net_loads(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._net_loads is None:
+            sink_pin_cap = np.zeros(self.num_nets)
+            num_sinks = np.zeros(self.num_nets, dtype=np.int64)
+            for i, net in enumerate(self._nets):
+                # Summed in sink-pin order, matching the reference loop
+                # exactly.
+                sink_pin_cap[i] = sum(
+                    p.cell.master.input_cap_ff for p in net.sink_pins
+                )
+                num_sinks[i] = net.num_sinks
+            self._net_loads = (sink_pin_cap, num_sinks)
+        return self._net_loads
+
+    @property
+    def sink_pin_cap_ff(self) -> np.ndarray:
+        """Summed sink-pin input capacitance per net (built on first use)."""
+        return self._ensure_net_loads()[0]
+
+    @property
+    def num_sinks(self) -> np.ndarray:
+        """Sink count per net (built on first use)."""
+        return self._ensure_net_loads()[1]
+
+    def _ensure_outpins(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._outpins is None:
+            outpin_cell: List[int] = []
+            outpin_net: List[int] = []
+            net_index = self.net_index
+            for ci, cell in enumerate(self._cells):
+                if cell.is_filler:
+                    continue
+                for pin in cell.output_pins:
+                    if pin.net is not None:
+                        outpin_cell.append(ci)
+                        outpin_net.append(net_index[pin.net.name])
+            self._outpins = (
+                np.array(outpin_cell, dtype=np.int64),
+                np.array(outpin_net, dtype=np.int64),
+            )
+        return self._outpins
+
+    @property
+    def outpin_cell(self) -> np.ndarray:
+        """Cell index of every connected non-filler output pin."""
+        return self._ensure_outpins()[0]
+
+    @property
+    def outpin_net(self) -> np.ndarray:
+        """Net index of every connected non-filler output pin."""
+        return self._ensure_outpins()[1]
+
+    def _ensure_sequential(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._sequential is None:
+            net_index = self.net_index
+            seq_cells: List[int] = []
+            seq_d_slot: List[int] = []
+            seq_q_slot: List[int] = []
+            for ci, cell in enumerate(self._cells):
+                if not cell.is_sequential:
+                    continue
+                in_pins = cell.input_pins
+                out_pins = cell.output_pins
+                d = in_pins[0].net if in_pins else None
+                q = out_pins[0].net if out_pins else None
+                seq_cells.append(ci)
+                seq_d_slot.append(
+                    net_index[d.name] if d is not None else self.zero_slot
+                )
+                seq_q_slot.append(
+                    net_index[q.name] if q is not None else self.trash_slot
+                )
+            self._sequential = (
+                np.array(seq_cells, dtype=np.int64),
+                np.array(seq_d_slot, dtype=np.int64),
+                np.array(seq_q_slot, dtype=np.int64),
+            )
+        return self._sequential
+
+    @property
+    def seq_cells(self) -> np.ndarray:
+        """Cell indices of sequential cells (built on first use)."""
+        return self._ensure_sequential()[0]
+
+    @property
+    def seq_d_slot(self) -> np.ndarray:
+        """Per-flop D-input value slot."""
+        return self._ensure_sequential()[1]
+
+    @property
+    def seq_q_slot(self) -> np.ndarray:
+        """Per-flop Q-output value slot."""
+        return self._ensure_sequential()[2]
 
     @property
     def levels(self) -> List[List[GateGroup]]:

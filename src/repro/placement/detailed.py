@@ -92,6 +92,21 @@ def _invalidate_cell_nets(cell: CellInstance, cache: dict) -> None:
             cache.pop(net.name, None)
 
 
+def _snapshot_pair_nets(a: CellInstance, b: CellInstance, cache: dict) -> dict:
+    """Cached HPWL entries of every net attached to either cell.
+
+    Taken right after ``_pair_hpwl`` computed them, so the snapshot covers
+    exactly the nets a subsequent swap of the pair can disturb.
+    """
+    saved: dict = {}
+    for cell in (a, b):
+        for pin in cell.pins.values():
+            net = pin.net
+            if net is not None and net.name in cache:
+                saved[net.name] = cache[net.name]
+    return saved
+
+
 def improve_row(placement: Placement, row: Row) -> int:
     """One pass of adjacent-pair swaps over a row.
 
@@ -111,7 +126,17 @@ def improve_row(placement: Placement, row: Row) -> int:
         if right.x - (left.x + left.width) > site_width:
             i += 1
             continue
+        # A reverted swap of an *exactly* abutting pair restores both x
+        # coordinates bitwise, so the pre-swap HPWL cache entries stay
+        # valid and can be put back instead of recomputed — most swaps are
+        # rejected, and this halves the placer's HPWL evaluations.  A pair
+        # with a sub-site gap reverts with the gap migrated, so its nets
+        # are invalidated as before.
+        abutting = right.x == left.x + left.width
         before = _pair_hpwl(left, right, hpwl_cache)
+        saved = (
+            _snapshot_pair_nets(left, right, hpwl_cache) if abutting else None
+        )
         _swap_adjacent(row, i)
         _invalidate_cell_nets(left, hpwl_cache)
         _invalidate_cell_nets(right, hpwl_cache)
@@ -119,8 +144,11 @@ def improve_row(placement: Placement, row: Row) -> int:
         if after >= before - 1e-9:
             # Revert: swap back (right is now left of left).
             _swap_adjacent(row, i)
-            _invalidate_cell_nets(left, hpwl_cache)
-            _invalidate_cell_nets(right, hpwl_cache)
+            if saved is not None:
+                hpwl_cache.update(saved)
+            else:
+                _invalidate_cell_nets(left, hpwl_cache)
+                _invalidate_cell_nets(right, hpwl_cache)
         else:
             swaps += 1
         i += 1

@@ -125,29 +125,25 @@ class QuadraticPlacer:
         return movable, fixed
 
     def _build_system(self):
-        """Assemble the Laplacian-like system matrices and RHS vectors."""
+        """Assemble the Laplacian-like system matrices and RHS vectors.
+
+        Net terminals are gathered per net in Python (the object graph has
+        no other access path) but all numeric accumulation — diagonals,
+        off-diagonal clique edges and fixed-terminal anchors — is buffered
+        into flat index/value lists and applied with ``np.add.at`` /
+        ``coo_matrix`` duplicate summation in one shot.
+        """
         n = len(self._movable)
-        diag = np.zeros(n)
-        rows: List[int] = []
-        cols: List[int] = []
-        vals: List[float] = []
         bx = np.zeros(n)
         by = np.zeros(n)
 
-        def add_edge(i: int, j: int, w: float) -> None:
-            diag[i] += w
-            diag[j] += w
-            rows.append(i)
-            cols.append(j)
-            vals.append(-w)
-            rows.append(j)
-            cols.append(i)
-            vals.append(-w)
-
-        def add_fixed(i: int, x: float, y: float, w: float) -> None:
-            diag[i] += w
-            bx[i] += w * x
-            by[i] += w * y
+        edge_i: List[int] = []
+        edge_j: List[int] = []
+        edge_w: List[float] = []
+        fixed_i: List[int] = []
+        fixed_x: List[float] = []
+        fixed_y: List[float] = []
+        fixed_w: List[float] = []
 
         for net in self.netlist.nets.values():
             movable, fixed = self._net_terminals(net)
@@ -158,9 +154,14 @@ class QuadraticPlacer:
                 weight = 1.0 / (num_terms - 1)
                 for a in range(len(movable)):
                     for b in range(a + 1, len(movable)):
-                        add_edge(movable[a], movable[b], weight)
+                        edge_i.append(movable[a])
+                        edge_j.append(movable[b])
+                        edge_w.append(weight)
                     for fx, fy in fixed:
-                        add_fixed(movable[a], fx, fy, weight)
+                        fixed_i.append(movable[a])
+                        fixed_x.append(fx)
+                        fixed_y.append(fy)
+                        fixed_w.append(weight)
             else:
                 # Star model: connect every movable pin to the centroid of
                 # the fixed pins (or the core centre when there are none).
@@ -171,7 +172,10 @@ class QuadraticPlacer:
                 else:
                     cx, cy = self.floorplan.core_rect.center
                 for idx in movable:
-                    add_fixed(idx, cx, cy, weight)
+                    fixed_i.append(idx)
+                    fixed_x.append(cx)
+                    fixed_y.append(cy)
+                    fixed_w.append(weight)
 
         # Region-centre anchors keep every cell attracted to its unit region
         # and guarantee a non-singular system.
@@ -179,19 +183,66 @@ class QuadraticPlacer:
         for i, cell in enumerate(self._movable):
             region = self.regions.get(cell.unit)
             cx, cy = region.center if region is not None else core_center
-            add_fixed(i, cx, cy, self.anchor_weight)
+            fixed_i.append(i)
+            fixed_x.append(cx)
+            fixed_y.append(cy)
+            fixed_w.append(self.anchor_weight)
 
-        laplacian = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        ei = np.asarray(edge_i, dtype=np.int64)
+        ej = np.asarray(edge_j, dtype=np.int64)
+        ew = np.asarray(edge_w)
+        fi = np.asarray(fixed_i, dtype=np.int64)
+        fw = np.asarray(fixed_w)
+
+        diag = np.zeros(n)
+        np.add.at(diag, ei, ew)
+        np.add.at(diag, ej, ew)
+        np.add.at(diag, fi, fw)
+        np.add.at(bx, fi, fw * np.asarray(fixed_x))
+        np.add.at(by, fi, fw * np.asarray(fixed_y))
+
+        laplacian = sp.coo_matrix(
+            (
+                np.concatenate([-ew, -ew]),
+                (np.concatenate([ei, ej]), np.concatenate([ej, ei])),
+            ),
+            shape=(n, n),
+        ).tocsr()
         laplacian = laplacian + sp.diags(diag)
         return laplacian, bx, by
+
+    def _warm_starts(self) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Current cell centres as CG starting vectors, when all are placed.
+
+        On a re-run (an incremental re-place after the netlist or the
+        anchors changed) the previous solution is an excellent starting
+        guess; on a first placement the cells have no coordinates and the
+        solves start cold.
+        """
+        n = len(self._movable)
+        x0 = np.empty(n)
+        y0 = np.empty(n)
+        for i, cell in enumerate(self._movable):
+            if cell.x is None or cell.y is None:
+                return None, None
+            cx, cy = cell.center
+            x0[i] = cx
+            y0[i] = cy
+        return x0, y0
 
     def run(self) -> GlobalPlacementResult:
         """Solve the quadratic program and return target cell positions."""
         if not self._movable:
             return GlobalPlacementResult({}, 0.0)
         matrix, bx, by = self._build_system()
-        x = self._solve(matrix, bx)
-        y = self._solve(matrix, by)
+        # One preconditioned solver serves both coordinate systems: the
+        # matrix is identical for x and y, so the Jacobi preconditioner is
+        # built once and the LU fallback (if CG ever stalls) factorises
+        # once instead of once per axis.
+        solver = _SpdSystemSolver(matrix)
+        x0, y0 = self._warm_starts()
+        x = solver.solve(bx, x0=x0)
+        y = solver.solve(by, x0=y0)
 
         # Clamp to the core.
         x = np.clip(x, 0.0, self.floorplan.core_width)
@@ -205,8 +256,40 @@ class QuadraticPlacer:
 
     @staticmethod
     def _solve(matrix: sp.csr_matrix, rhs: np.ndarray) -> np.ndarray:
-        """Solve the SPD system with conjugate gradients (LU fallback)."""
-        solution, info = spla.cg(matrix, rhs, rtol=1e-6, maxiter=2000)
+        """Solve one SPD system (kept as the one-shot convenience path)."""
+        return _SpdSystemSolver(matrix).solve(rhs)
+
+
+class _SpdSystemSolver:
+    """Jacobi-preconditioned CG for one SPD matrix, reusable across RHS.
+
+    The placer solves the same Laplacian twice (x then y targets); this
+    helper builds the diagonal preconditioner once, accepts a warm start
+    per right-hand side, and memoises the sparse LU fallback so a stalled
+    CG never factorises the matrix more than once.
+    """
+
+    def __init__(self, matrix: sp.csr_matrix, rtol: float = 1e-6, maxiter: int = 2000):
+        self.matrix = matrix
+        self.rtol = rtol
+        self.maxiter = maxiter
+        diagonal = matrix.diagonal()
+        # The anchor terms keep every diagonal entry strictly positive; the
+        # guard only protects degenerate hand-built systems.
+        safe = np.where(diagonal > 0.0, diagonal, 1.0)
+        inverse = 1.0 / safe
+        self._preconditioner = spla.LinearOperator(
+            matrix.shape, matvec=lambda v: inverse * v
+        )
+        self._factorized = None
+
+    def solve(self, rhs: np.ndarray, x0: Optional[np.ndarray] = None) -> np.ndarray:
+        solution, info = spla.cg(
+            self.matrix, rhs, x0=x0, rtol=self.rtol, maxiter=self.maxiter,
+            M=self._preconditioner,
+        )
         if info != 0:
-            solution = spla.spsolve(matrix.tocsc(), rhs)
+            if self._factorized is None:
+                self._factorized = spla.splu(self.matrix.tocsc())
+            solution = self._factorized.solve(rhs)
         return np.asarray(solution, dtype=float)

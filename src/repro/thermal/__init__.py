@@ -10,12 +10,16 @@ from .package import (
 from .grid import ThermalGrid
 from .network import NetworkElements, ThermalNetwork
 from .thermal_map import ThermalMap, map_from_solution
+from .multigrid import MultigridSolver
 from .solver import (
     DEFAULT_PERMC_SPEC,
+    MULTIGRID_AUTO_MIN_NODES,
+    THERMAL_METHODS,
     ThermalSolver,
     cell_temperature_array,
     cell_temperatures,
     grid_for_placement,
+    resolve_thermal_method,
     simulate_placement,
     simulate_with_leakage_feedback,
 )
@@ -38,10 +42,14 @@ __all__ = [
     "ThermalMap",
     "map_from_solution",
     "DEFAULT_PERMC_SPEC",
+    "MULTIGRID_AUTO_MIN_NODES",
+    "THERMAL_METHODS",
+    "MultigridSolver",
     "ThermalSolver",
     "cell_temperature_array",
     "cell_temperatures",
     "grid_for_placement",
+    "resolve_thermal_method",
     "simulate_placement",
     "simulate_with_leakage_feedback",
     "SpiceCircuit",

@@ -1,18 +1,21 @@
 """Steady-state solver for the thermal network.
 
 The paper solves the RC network with SPICE; at steady state this is a
-single sparse linear solve ``G * T = P``.  :class:`ThermalSolver` wraps the
-factorisation (so several power maps can be solved against the same die
-geometry, as happens during an area-overhead sweep) and
-:func:`simulate_placement` is the one-call convenience path from a placed
-design plus a power report to a :class:`~repro.thermal.thermal_map.ThermalMap`
-— the "Thermal Simulation" box of the paper's Figure 2.
+single sparse linear solve ``G * T = P``.  :class:`ThermalSolver` wraps one
+die geometry's solve behind two interchangeable backends — a SuperLU
+factorisation (``method="lu"``) and a geometric multigrid engine
+(``method="multigrid"``, see :mod:`repro.thermal.multigrid`) — so several
+power maps can be solved against the same geometry, as happens during an
+area-overhead sweep.  :func:`simulate_placement` is the one-call
+convenience path from a placed design plus a power report to a
+:class:`~repro.thermal.thermal_map.ThermalMap` — the "Thermal Simulation"
+box of the paper's Figure 2.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse.linalg as spla
@@ -21,6 +24,7 @@ from ..placement import Placement
 from ..power import PowerReport, build_power_map, iter_cell_bins
 from ..power.power_map import PowerMap
 from .grid import ThermalGrid
+from .multigrid import MultigridSolver
 from .network import ThermalNetwork
 from .package import Package, default_package
 from .thermal_map import ThermalMap, map_from_solution
@@ -34,18 +38,69 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
 #: and the fill-in compared to the generic COLAMD default.
 DEFAULT_PERMC_SPEC = "MMD_AT_PLUS_A"
 
+#: The solver backends :func:`resolve_thermal_method` accepts.
+THERMAL_METHODS = ("auto", "lu", "multigrid")
+
+#: ``method="auto"`` picks multigrid at or above this node count.  Below
+#: it, a sparse LU factorises in milliseconds and its triangular re-solves
+#: are unbeatable; above it, the factorisation cost grows super-linearly
+#: while multigrid stays O(N) (at the paper's 40 x 40 x 9 grid the LU
+#: setup is ~40x slower than the full multigrid build-and-solve).
+MULTIGRID_AUTO_MIN_NODES = 6000
+
+#: Accuracy of the one-time package-coupling solve (its error enters every
+#: subsequent temperature through the rank-1 correction, so it is kept a
+#: decade below the default solve tolerance).
+_PACKAGE_SOLVE_TOL = 1e-10
+
+
+def resolve_thermal_method(
+    method: Optional[str], grid: Optional[ThermalGrid] = None
+) -> str:
+    """Resolve a solver-method spec to a concrete backend name.
+
+    Args:
+        method: ``"lu"``, ``"multigrid"``, ``"auto"`` or ``None`` (auto).
+        grid: The mesh, consulted by the ``auto`` size heuristic.
+
+    Returns:
+        ``"lu"`` or ``"multigrid"``.
+
+    Raises:
+        ValueError: On an unknown method name.
+    """
+    if method is None:
+        method = "auto"
+    method = method.lower()
+    if method not in THERMAL_METHODS:
+        raise ValueError(
+            f"unknown thermal solver method {method!r}; "
+            f"expected one of {', '.join(THERMAL_METHODS)}"
+        )
+    if method != "auto":
+        return method
+    if grid is None:
+        return "lu"
+    return "multigrid" if grid.num_nodes >= MULTIGRID_AUTO_MIN_NODES else "lu"
+
 
 class ThermalSolver:
-    """Factorised steady-state solver for one die geometry.
+    """Prepared steady-state solver for one die geometry.
 
     Args:
         grid: Thermal mesh.
         keep_full_field: Store the full 3-D temperature field on results.
-        permc_spec: SuperLU column-permutation strategy.  The default
-            exploits the matrix symmetry; pass ``"COLAMD"`` with
-            ``symmetric_mode=False`` for SuperLU's generic behaviour.
+        permc_spec: SuperLU column-permutation strategy (LU backend only).
+            The default exploits the matrix symmetry; pass ``"COLAMD"``
+            with ``symmetric_mode=False`` for SuperLU's generic behaviour.
         symmetric_mode: Enable SuperLU's symmetric mode (valid for this
             matrix, which is symmetric positive definite).
+        method: Solver backend — ``"lu"`` (sparse direct factorisation),
+            ``"multigrid"`` (V-cycle-preconditioned CG, O(N) setup, warm
+            starts), or ``"auto"`` (pick by grid size; the resolved choice
+            is available as :attr:`method`).
+        tol: Relative-residual tolerance of the multigrid backend
+            (``None`` uses :data:`repro.thermal.multigrid.DEFAULT_TOLERANCE`).
     """
 
     def __init__(
@@ -54,28 +109,37 @@ class ThermalSolver:
         keep_full_field: bool = False,
         permc_spec: str = DEFAULT_PERMC_SPEC,
         symmetric_mode: bool = True,
+        method: str = "auto",
+        tol: Optional[float] = None,
     ) -> None:
         self.grid = grid
         self.network = ThermalNetwork(grid)
         self.keep_full_field = keep_full_field
-        # Factorise the grid-only matrix (pure 7-point stencil); the lumped
-        # package node would add a dense row, so it is eliminated via a
-        # Sherman-Morrison rank-1 correction in :meth:`solve`.  In symmetric
-        # mode the pivot threshold is dropped to keep SuperLU on the
-        # diagonal, as the matrix is a diagonally dominant SPD M-matrix;
-        # off-diagonal pivoting would only re-introduce fill the symmetric
-        # ordering avoids.
-        if symmetric_mode:
-            splu_kwargs = dict(
-                diag_pivot_thresh=0.0, options=dict(SymmetricMode=True)
-            )
+        self.method = resolve_thermal_method(method, grid)
+        # Both backends solve the grid-only matrix (pure 7-point stencil);
+        # the lumped package node would add a dense row, so it is eliminated
+        # via a Sherman-Morrison rank-1 correction in :meth:`solve`.
+        self._factorized = None
+        self._mg: Optional[MultigridSolver] = None
+        if self.method == "multigrid":
+            mg_kwargs = {} if tol is None else {"tol": tol}
+            self._mg = MultigridSolver(grid, network=self.network, **mg_kwargs)
         else:
-            splu_kwargs = dict(options=dict())
-        self._factorized = spla.splu(
-            self.network.grid_matrix.tocsc(),
-            permc_spec=permc_spec,
-            **splu_kwargs,
-        )
+            # In symmetric mode the pivot threshold is dropped to keep
+            # SuperLU on the diagonal, as the matrix is a diagonally
+            # dominant SPD M-matrix; off-diagonal pivoting would only
+            # re-introduce fill the symmetric ordering avoids.
+            if symmetric_mode:
+                splu_kwargs = dict(
+                    diag_pivot_thresh=0.0, options=dict(SymmetricMode=True)
+                )
+            else:
+                splu_kwargs = dict(options=dict())
+            self._factorized = spla.splu(
+                self.network.grid_matrix.tocsc(),
+                permc_spec=permc_spec,
+                **splu_kwargs,
+            )
         # Reused RHS buffer: only the active-layer span is ever written, the
         # rest stays zero, so repeated solves (campaign sweeps, the leakage
         # feedback loop) allocate nothing per point.  Thread-local because a
@@ -85,13 +149,74 @@ class ThermalSolver:
         self._package_solve: np.ndarray | None = None
         if self.network.package_node is not None:
             coupling = self.network.package_coupling
-            self._package_solve = self._factorized.solve(coupling)
+            if self._mg is not None:
+                self._package_solve, _ = self._mg.solve(
+                    coupling, tol=_PACKAGE_SOLVE_TOL
+                )
+            else:
+                self._package_solve = self._factorized.solve(coupling)
             self._package_denominator = float(
                 self.network.package_diagonal - coupling @ self._package_solve
             )
 
-    def solve(self, power_per_cell: np.ndarray) -> ThermalMap:
+    # -- backend dispatch ----------------------------------------------------
+
+    def _base_from_physical(self, x0: np.ndarray) -> np.ndarray:
+        """Convert a physical rise field into a base-system starting guess.
+
+        The grid system is solved *before* the rank-1 package correction,
+        so a previous map's (corrected) rises must have the correction
+        peeled off to be a useful warm start.  The correction coefficient
+        of the solve that produced ``x0`` is exactly its package-node rise
+        ``(coupling @ x0) / package_diagonal``, so the base field is
+        recovered without any extra solve.
+        """
+        if self._package_solve is None:
+            return x0
+        coupling = self.network.package_coupling
+        gamma = (coupling @ x0) / self.network.package_diagonal
+        if x0.ndim == 1:
+            return x0 - gamma * self._package_solve
+        return x0 - self._package_solve[:, None] * gamma[None, :]
+
+    def _solve_grid(
+        self, rhs: np.ndarray, x0: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Solve the grid-only system for one or more stacked RHS lanes.
+
+        ``x0`` (a previous *physical* temperature-rise field, same leading
+        length) is exploited by the multigrid backend and ignored by LU.
+        """
+        if self._mg is None:
+            self._rhs_local.iterations = 0
+            return self._factorized.solve(rhs)
+
+        if x0 is not None and x0.shape[0] != self.grid.num_nodes:
+            x0 = None  # mismatched geometry: fall back to a cold start
+        if x0 is not None:
+            x0 = self._base_from_physical(np.asarray(x0, dtype=float))
+        solution, iterations = self._mg.solve(rhs, x0=x0)
+        self._rhs_local.iterations = int(iterations.max()) if iterations.size else 0
+        return solution
+
+    @property
+    def last_iterations(self) -> int:
+        """Outer iterations of this thread's most recent solve (0 for LU)."""
+        return getattr(self._rhs_local, "iterations", 0)
+
+    # -- solving -------------------------------------------------------------
+
+    def solve(
+        self, power_per_cell: np.ndarray, x0: Optional[np.ndarray] = None
+    ) -> ThermalMap:
         """Solve for a power map of shape ``(ny, nx)`` watts per thermal cell.
+
+        Args:
+            power_per_cell: The binned power map.
+            x0: Optional warm start — a previous grid temperature-rise
+                vector (e.g. :attr:`ThermalMap.grid_rises` of an earlier
+                solve on the same grid resolution).  The multigrid backend
+                starts its iteration there; LU ignores it.
 
         Returns:
             The resulting :class:`ThermalMap`.
@@ -100,7 +225,7 @@ class ThermalSolver:
         if buffer is None:
             buffer = self._rhs_local.rhs = np.zeros(self.grid.num_nodes)
         rhs = self.network.fill_grid_rhs(power_per_cell, buffer)
-        base = self._factorized.solve(rhs)
+        base = self._solve_grid(rhs, x0=x0)
 
         if self._package_solve is None:
             solution = base
@@ -118,9 +243,74 @@ class ThermalSolver:
             keep_full_field=self.keep_full_field,
         )
 
-    def solve_power_map(self, power_map: PowerMap) -> ThermalMap:
+    def solve_power_map(
+        self, power_map: PowerMap, x0: Optional[np.ndarray] = None
+    ) -> ThermalMap:
         """Solve for a :class:`~repro.power.power_map.PowerMap`."""
-        return self.solve(power_map.power_w)
+        return self.solve(power_map.power_w, x0=x0)
+
+    def solve_many(
+        self,
+        power_maps: Sequence[Union[PowerMap, np.ndarray]],
+        x0: Optional[np.ndarray] = None,
+    ) -> List[ThermalMap]:
+        """Solve a stack of power maps sharing this geometry in one pass.
+
+        All smoother/residual arrays of the multigrid backend carry a
+        trailing lane axis, so the whole stack is iterated simultaneously
+        (per-lane step sizes keep every lane's result identical to a
+        sequential :meth:`solve` up to rounding, and converged lanes are
+        frozen); the LU backend solves the stacked RHS with one batched
+        triangular solve.  This is what :class:`~repro.flow.runner.Campaign`
+        uses to solve all records sharing a die geometry as one block.
+
+        Args:
+            power_maps: Power maps (or bare ``(ny, nx)`` arrays) to solve.
+            x0: Optional warm start — either one rise vector of length
+                ``num_nodes`` broadcast across lanes, or a ``(num_nodes,
+                k)`` stack of per-lane rise vectors.
+
+        Returns:
+            One :class:`ThermalMap` per input, in order.
+        """
+        if not power_maps:
+            return []
+        arrays = [
+            pm.power_w if isinstance(pm, PowerMap) else np.asarray(pm, dtype=float)
+            for pm in power_maps
+        ]
+        k = len(arrays)
+        rhs = np.zeros((self.grid.num_nodes, k))
+        for lane, power in enumerate(arrays):
+            self.network.fill_grid_rhs(power, rhs[:, lane])
+        base = self._solve_grid(rhs, x0=x0)
+
+        if self._package_solve is None:
+            grid_temps = base
+            package_temps = [None] * k
+        else:
+            coupling = self.network.package_coupling
+            correction = (coupling @ base) / self._package_denominator
+            grid_temps = base + self._package_solve[:, None] * correction[None, :]
+            package_temps = list((coupling @ grid_temps) / self.network.package_diagonal)
+
+        maps: List[ThermalMap] = []
+        for lane in range(k):
+            if self.network.package_node is None:
+                solution = grid_temps[:, lane]
+            else:
+                solution = np.concatenate(
+                    [grid_temps[:, lane], [package_temps[lane]]]
+                )
+            maps.append(
+                map_from_solution(
+                    self.grid,
+                    solution,
+                    package_node=self.network.package_node,
+                    keep_full_field=self.keep_full_field,
+                )
+            )
+        return maps
 
 
 def grid_for_placement(
@@ -140,6 +330,17 @@ def grid_for_placement(
     )
 
 
+def _warm_start_rises(
+    warm_start: "Optional[Union[ThermalMap, np.ndarray]]",
+) -> Optional[np.ndarray]:
+    """Extract a grid-rise warm-start vector from a map or bare array."""
+    if warm_start is None:
+        return None
+    if isinstance(warm_start, ThermalMap):
+        return warm_start.grid_rises
+    return np.asarray(warm_start, dtype=float)
+
+
 def simulate_placement(
     placement: Placement,
     power: PowerReport,
@@ -150,6 +351,8 @@ def simulate_placement(
     solver: Optional[ThermalSolver] = None,
     cache: "Optional[SolverCache]" = None,
     power_map: Optional[PowerMap] = None,
+    method: Optional[str] = None,
+    warm_start: "Optional[Union[ThermalMap, np.ndarray]]" = None,
 ) -> ThermalMap:
     """Run the full thermal-simulation step on a placed, power-annotated design.
 
@@ -166,13 +369,19 @@ def simulate_placement(
         ny: Grid cells in y.
         keep_full_field: Keep the 3-D temperature field on the result.
         solver: Pre-built :class:`ThermalSolver` for this placement's die
-            geometry; skips grid construction and factorisation entirely.
-        cache: A :class:`repro.flow.cache.SolverCache`; the factorisation is
-            fetched from (or inserted into) the cache, so repeated calls on
-            the same die geometry — as in an area-overhead sweep — pay the
-            LU factorisation only once.  Ignored when ``solver`` is given.
+            geometry; skips grid construction and solver setup entirely.
+        cache: A :class:`repro.flow.cache.SolverCache`; the prepared solver
+            is fetched from (or inserted into) the cache, so repeated calls
+            on the same die geometry — as in an area-overhead sweep — pay
+            the solver setup only once.  Ignored when ``solver`` is given.
         power_map: Pre-binned power map (must match the grid resolution);
             skips the cell-to-bin accumulation.
+        method: Solver backend (``"lu"``, ``"multigrid"`` or ``"auto"``);
+            ``None`` uses the cache's configured method, or ``"auto"``.
+        warm_start: A previous :class:`ThermalMap` (its
+            :attr:`~ThermalMap.grid_rises` field) or bare rise vector to
+            start the multigrid iteration from; ignored by the LU backend
+            and on mismatched grid sizes.
 
     Returns:
         The active-layer :class:`ThermalMap`.
@@ -181,14 +390,17 @@ def simulate_placement(
         if cache is not None:
             solver = cache.solver_for_placement(
                 placement, package=package, nx=nx, ny=ny,
-                keep_full_field=keep_full_field,
+                keep_full_field=keep_full_field, method=method,
             )
         else:
             grid = grid_for_placement(placement, package=package, nx=nx, ny=ny)
-            solver = ThermalSolver(grid, keep_full_field=keep_full_field)
+            solver = ThermalSolver(
+                grid, keep_full_field=keep_full_field,
+                method="auto" if method is None else method,
+            )
     if power_map is None:
         power_map = build_power_map(placement, power, nx=nx, ny=ny, over_die=True)
-    return solver.solve_power_map(power_map)
+    return solver.solve_power_map(power_map, x0=_warm_start_rises(warm_start))
 
 
 def cell_temperature_array(
@@ -276,14 +488,18 @@ def simulate_with_leakage_feedback(
     iterations: int = 3,
     cache: "Optional[SolverCache]" = None,
     engine: Optional[str] = None,
+    method: Optional[str] = None,
 ) -> ThermalMap:
     """Thermal simulation with leakage/temperature feedback iterations.
 
     The positive feedback between leakage power and temperature mentioned
     in the paper's introduction: each iteration re-evaluates leakage at the
     per-cell temperatures of the previous thermal solve.  The die geometry
-    never changes across iterations, so one factorised solver is reused for
-    the whole loop.
+    never changes across iterations, so one prepared solver is reused for
+    the whole loop, and every re-solve warm-starts from the previous
+    iteration's temperature field — which the multigrid backend converts
+    into one or two cycles, while LU (which cannot exploit a starting
+    guess) simply ignores it.
 
     Args:
         placement: The placed design.
@@ -294,7 +510,8 @@ def simulate_with_leakage_feedback(
         ny: Grid cells in y.
         iterations: Number of power/thermal iterations (>= 1).
         cache: Optional :class:`repro.flow.cache.SolverCache` to share the
-            factorisation with other simulations of the same geometry.
+            prepared solver with other simulations of the same geometry.
+        method: Solver backend (``"lu"``, ``"multigrid"`` or ``"auto"``).
 
     Returns:
         The converged :class:`ThermalMap`.
@@ -303,9 +520,14 @@ def simulate_with_leakage_feedback(
         raise ValueError("iterations must be at least 1")
     netlist = placement.netlist
     if cache is not None:
-        solver = cache.solver_for_placement(placement, package=package, nx=nx, ny=ny)
+        solver = cache.solver_for_placement(
+            placement, package=package, nx=nx, ny=ny, method=method
+        )
     else:
-        solver = ThermalSolver(grid_for_placement(placement, package=package, nx=nx, ny=ny))
+        solver = ThermalSolver(
+            grid_for_placement(placement, package=package, nx=nx, ny=ny),
+            method="auto" if method is None else method,
+        )
     from ..engine import resolve_engine, use_engine
 
     resolved = resolve_engine(engine)
@@ -331,6 +553,7 @@ def simulate_with_leakage_feedback(
                 netlist, activity, cell_temps
             )
             thermal_map = simulate_placement(
-                placement, power, package=package, nx=nx, ny=ny, solver=solver
+                placement, power, package=package, nx=nx, ny=ny, solver=solver,
+                warm_start=thermal_map,
             )
     return thermal_map

@@ -28,12 +28,18 @@ class ThermalMap:
         ambient: Ambient temperature in Celsius.
         full_field: Optional full 3-D field of shape ``(nz, ny, nx)``.
         package_temperature: Temperature of the lumped package node, if any.
+        grid_rises: Flat grid temperature-rise vector (Kelvin above
+            ambient, length ``nx * ny * nz``) the map was built from, when
+            produced by a solver.  This is what warm-starts the multigrid
+            backend on subsequent re-solves (leakage feedback, sweep
+            points); ``None`` on hand-built maps.
     """
 
     temperatures: np.ndarray
     ambient: float
     full_field: Optional[np.ndarray] = None
     package_temperature: Optional[float] = None
+    grid_rises: Optional[np.ndarray] = None
 
     # -- scalar metrics -------------------------------------------------------
 
@@ -130,4 +136,5 @@ def map_from_solution(
         ambient=ambient,
         full_field=(field + ambient) if keep_full_field else None,
         package_temperature=package_temp,
+        grid_rises=rises,
     )

@@ -40,6 +40,33 @@ class TestDetection:
         tight = detect_hotspots(thermal_map, small_placement, threshold_fraction=0.9)
         assert broad[0].num_bins > tight[0].num_bins
 
+    def test_engines_agree_exactly(self, small_placement, small_power):
+        """Compiled bincount attribution == reference dict accumulation.
+
+        Same hotspots, same cell counts, bitwise-equal unit powers and —
+        critically — identical dominant_units ordering, including the
+        first-seen tie-break the dict accumulation implies.
+        """
+        thermal_map = _synthetic_map(
+            small_placement, [(8, 8, 4.0, 2.5), (30, 32, 3.5, 2.5)]
+        )
+        for power in (small_power, None):
+            compiled = detect_hotspots(
+                thermal_map, small_placement, power=power,
+                threshold_fraction=0.5, engine="compiled",
+            )
+            reference = detect_hotspots(
+                thermal_map, small_placement, power=power,
+                threshold_fraction=0.5, engine="reference",
+            )
+            assert len(compiled) == len(reference) > 0
+            for fast, slow in zip(compiled, reference):
+                assert fast.bins == slow.bins
+                assert fast.rect == slow.rect
+                assert fast.num_cells == slow.num_cells
+                assert fast.dominant_units == slow.dominant_units
+                assert fast.power_w == pytest.approx(slow.power_w, rel=1e-12)
+
     def test_max_hotspots_limits_count(self, small_placement):
         thermal_map = _synthetic_map(
             small_placement,
