@@ -38,7 +38,13 @@ from repro.bench import (
 )
 from repro.core import AreaManagementConfig, AreaManager
 from repro.engine import use_engine
-from repro.flow import ExperimentSetup, SolverCache
+from repro.flow import (
+    ArtifactStore,
+    ExperimentSetup,
+    FlowGraph,
+    SolverCache,
+    evaluate_strategy,
+)
 from repro.placement import place_design
 from repro.power import (
     LogicSimulator,
@@ -58,6 +64,7 @@ MIN_END_TO_END_SPEEDUP = 2.8
 MIN_STA_SPEEDUP = 2.0
 MIN_BINNING_SPEEDUP = 3.0
 MIN_THERMAL_SOLVE_SPEEDUP = 2.8
+MIN_STAGED_REPLAY_SPEEDUP = 3.0
 
 #: Thermal grid resolution of the thermal_solve stage: the paper's 40 x 40
 #: at full size, reduced for CI smoke so the LU baseline stays cheap.
@@ -288,6 +295,86 @@ class TestPipelineStages:
             assert speedup >= MIN_THERMAL_SOLVE_SPEEDUP, (
                 f"warm-started multigrid feedback sequence only {speedup:.2f}x "
                 f"faster than the LU path"
+            )
+
+    def test_staged_sweep(self):
+        """3-strategy sweep through the staged flow graph.
+
+        Correctness is asserted at every size (including smoke): the cold
+        staged sweep runs the shared prefix — placement and power
+        estimation — exactly once for all three strategies, a warm replay
+        over the same store executes *zero* stages, and both are bitwise
+        identical to the monolithic sweep.  The recorded speedup compares
+        the monolithic sweep against the warm staged replay, which is the
+        cost of re-running yesterday's sweep against an unchanged design.
+        """
+        strategies = ("default", "eri", "hw")
+        overhead = 0.15
+
+        def fresh_inputs():
+            netlist = (
+                small_synthetic_circuit() if SMOKE else build_synthetic_circuit()
+            )
+            return netlist, scattered_hotspots_workload(netlist)
+
+        def sweep(setup, flow=None, cache=None):
+            return [
+                evaluate_strategy(
+                    setup, strategy, overhead, analyze_timing=True,
+                    cache=cache, flow=flow,
+                )
+                for strategy in strategies
+            ]
+
+        netlist, workload = fresh_inputs()
+        cache = SolverCache()
+        gc.collect()
+        start = time.perf_counter()
+        mono_setup = ExperimentSetup.prepare(netlist, workload, cache=cache)
+        mono = sweep(mono_setup, cache=cache)
+        mono_s = time.perf_counter() - start
+
+        flow = FlowGraph(store=ArtifactStore())
+        netlist, workload = fresh_inputs()
+        gc.collect()
+        start = time.perf_counter()
+        staged_setup = ExperimentSetup.prepare(netlist, workload, flow=flow)
+        cold = sweep(staged_setup, flow=flow)
+        cold_s = time.perf_counter() - start
+
+        executions = dict(flow.stage_executions)
+        assert executions["synth"] == 1, (
+            f"3-strategy sweep ran synth {executions['synth']}x, expected once"
+        )
+        assert executions["power"] == 1, (
+            f"3-strategy sweep ran power {executions['power']}x, expected once"
+        )
+        assert cold == mono, "staged sweep diverged from monolithic sweep"
+
+        # Warm replay: a content-equal circuit through the warm store.
+        netlist, workload = fresh_inputs()
+        gc.collect()
+        start = time.perf_counter()
+        warm_setup = ExperimentSetup.prepare(netlist, workload, flow=flow)
+        warm = sweep(warm_setup, flow=flow)
+        warm_s = time.perf_counter() - start
+
+        assert warm == mono, "warm staged replay diverged from monolithic sweep"
+        assert dict(flow.stage_executions) == executions, (
+            "warm replay re-executed stages"
+        )
+
+        speedup = _record(
+            "staged_sweep", mono_s, warm_s,
+            floor=MIN_STAGED_REPLAY_SPEEDUP,
+            strategies=list(strategies),
+            cold_staged_s=round(cold_s, 6),
+            stage_executions=executions,
+        )
+        if not SMOKE:
+            assert speedup >= MIN_STAGED_REPLAY_SPEEDUP, (
+                f"warm staged replay only {speedup:.2f}x faster than the "
+                f"monolithic sweep"
             )
 
     def test_quickstart_end_to_end(self):

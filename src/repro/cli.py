@@ -46,9 +46,11 @@ from .bench import (
 )
 from .core import describe_strategies, resolve_strategy, split_spec_list
 from .flow import (
+    ArtifactStore,
     Campaign,
     CampaignResult,
     ExperimentSetup,
+    FlowGraph,
     SolverCache,
     concentrated_hotspot_table,
     evaluate_strategy,
@@ -151,6 +153,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser, default_full: bool = 
              "geometric multigrid, or auto (pick by grid size; default)",
     )
     parser.add_argument(
+        "--artifact-cache", type=Path, default=None, metavar="DIR",
+        help="persist flow artifacts content-addressed under DIR; a repeated "
+             "run (same circuit, strategies, knobs) then re-executes only "
+             "the stages whose inputs changed",
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="log per-point progress while the campaign runs",
     )
@@ -160,7 +168,32 @@ def _build_circuit(args: argparse.Namespace):
     return build_synthetic_circuit() if args.full else small_synthetic_circuit()
 
 
-def _prepare_setup(args: argparse.Namespace, workload_builder, cache: SolverCache) -> ExperimentSetup:
+def _build_flow(args: argparse.Namespace) -> FlowGraph:
+    """The staged flow graph every subcommand runs through.
+
+    ``--artifact-cache DIR`` adds the on-disk tier, so artifacts survive
+    the process and a re-run starts warm.
+    """
+    store = ArtifactStore(root=args.artifact_cache)
+    return FlowGraph(store=store, solver_cache=SolverCache(method=args.thermal_solver))
+
+
+def _stage_summary(flow: FlowGraph) -> str:
+    """One-line ``stage=executed(+hits)`` summary for run reports."""
+    stats = flow.stats()
+    executions = stats["stage_executions"]
+    hits = stats["stage_hits"]
+    parts = []
+    for stage in sorted(set(executions) | set(hits)):
+        ran = executions.get(stage, 0)
+        hit = hits.get(stage, 0)
+        parts.append(f"{stage}={ran}" + (f"(+{hit} cached)" if hit else ""))
+    return ", ".join(parts) if parts else "none"
+
+
+def _prepare_setup(
+    args: argparse.Namespace, workload_builder, flow: FlowGraph
+) -> ExperimentSetup:
     netlist = _build_circuit(args)
     workload = workload_builder(netlist)
     logger.info(
@@ -175,7 +208,7 @@ def _prepare_setup(args: argparse.Namespace, workload_builder, cache: SolverCach
         grid_ny=args.grid,
         num_cycles=args.cycles,
         seed=args.seed,
-        cache=cache,
+        flow=flow,
     )
 
 
@@ -193,8 +226,9 @@ def _write_result(result: CampaignResult, args: argparse.Namespace, stem: str) -
 
 def run_quickstart(args: argparse.Namespace) -> int:
     """One strategy/overhead point end to end, with a human-readable report."""
-    cache = SolverCache(method=args.thermal_solver)
-    setup = _prepare_setup(args, scattered_hotspots_workload, cache)
+    flow = _build_flow(args)
+    cache = flow.solver_cache
+    setup = _prepare_setup(args, scattered_hotspots_workload, flow)
     floorplan = setup.placement.floorplan
     print(f"benchmark: {setup.netlist.name}, {setup.netlist.num_cells} cells")
     print(f"baseline:  core {floorplan.core_width:.0f} x {floorplan.core_height:.0f} um, "
@@ -204,7 +238,7 @@ def run_quickstart(args: argparse.Namespace) -> int:
 
     start = time.perf_counter()
     outcome = evaluate_strategy(
-        setup, args.strategy, args.overhead, analyze_timing=True, cache=cache
+        setup, args.strategy, args.overhead, analyze_timing=True, flow=flow
     )
     elapsed = time.perf_counter() - start
     print(f"{outcome.strategy}: requested {outcome.requested_overhead * 100:.1f}% -> "
@@ -221,24 +255,26 @@ def run_quickstart(args: argparse.Namespace) -> int:
             "benchmark": setup.netlist.name,
             "baseline_peak_rise_k": setup.thermal_map.peak_rise,
             "solver_cache": cache.stats().as_dict(),
+            "flow_stages": flow.stats(),
         },
     )
+    print(f"flow stages: {_stage_summary(flow)}")
     _write_result(result, args, "quickstart")
     return 0
 
 
 def run_sweep(args: argparse.Namespace) -> int:
     """The Figure-6 (strategy x overhead) grid via the campaign runner."""
-    cache = SolverCache(method=args.thermal_solver)
-    setup = _prepare_setup(args, scattered_hotspots_workload, cache)
+    flow = _build_flow(args)
+    setup = _prepare_setup(args, scattered_hotspots_workload, flow)
     campaign = Campaign(
         setup,
         strategies=_flatten_strategies(args.strategies),
         overheads=tuple(args.overheads),
         analyze_timing=args.timing,
-        cache=cache,
         name="figure6-sweep",
         batch_solves=True,
+        flow=flow,
     )
     result = campaign.run(max_workers=args.jobs)
     result.metadata.update({
@@ -251,14 +287,16 @@ def run_sweep(args: argparse.Namespace) -> int:
           f"(solver cache: {result.cache_hits} hits / {result.cache_misses} "
           f"builds, {result.cache_hit_rate * 100:.0f}% hit rate, "
           f"{result.metadata['num_solve_groups']} batched solve groups)")
+    print(f"flow stages: {_stage_summary(flow)}")
     _write_result(result, args, "figure6")
     return 0
 
 
 def run_table1(args: argparse.Namespace) -> int:
     """The Table-I concentrated-hotspot comparison (Default versus ERI)."""
-    cache = SolverCache(method=args.thermal_solver)
-    setup = _prepare_setup(args, concentrated_hotspot_workload, cache)
+    flow = _build_flow(args)
+    cache = flow.solver_cache
+    setup = _prepare_setup(args, concentrated_hotspot_workload, flow)
     start = time.perf_counter()
     outcomes = concentrated_hotspot_table(
         setup, row_counts=tuple(args.rows), analyze_timing=args.timing, cache=cache
@@ -273,6 +311,7 @@ def run_table1(args: argparse.Namespace) -> int:
             "baseline_peak_rise_k": setup.thermal_map.peak_rise,
             "elapsed_s": elapsed,
             "solver_cache": cache.stats().as_dict(),
+            "flow_stages": flow.stats(),
         },
     )
     print(table1_report(outcomes))

@@ -272,6 +272,7 @@ class AreaManager:
         ny: int = 40,
         cache=None,
         method: Optional[str] = None,
+        flow=None,
     ) -> tuple:
         """Run :meth:`optimize` and re-run the thermal simulation on the result.
 
@@ -290,10 +291,26 @@ class AreaManager:
             cache: Optional :class:`repro.flow.cache.SolverCache` to share
                 the prepared solver with other simulations.
             method: Thermal solver backend (``"lu"``/``"multigrid"``/``"auto"``).
+            flow: Optional :class:`repro.flow.graph.FlowGraph` (duck-typed,
+                so this module stays independent of :mod:`repro.flow`).
+                The transform, binning and solve then run as ``whitespace``
+                / ``legalize`` / ``thermal`` stages against its artifact
+                store, and the returned result is the stage's
+                :class:`~repro.flow.artifacts.WhitespaceArtifact` — it
+                carries the placement and overhead bookkeeping but not the
+                ``hotspots``/``details`` objects of a full
+                :class:`AreaManagementResult`.
 
         Returns:
             ``(result, new_thermal_map)``.
         """
+        if flow is not None:
+            ws = flow.whitespace(placement, power, thermal_map, config=self.config)
+            legal = flow.legalize(ws.placement, power, nx=nx, ny=ny, package=package)
+            new_map = flow.thermal(
+                legal.power_map, legal.grid, warm_start=thermal_map, method=method
+            ).thermal_map
+            return ws, new_map
         result = self.optimize(placement, power, thermal_map)
         new_map = simulate_placement(
             result.placement, power, package=package, nx=nx, ny=ny,

@@ -3,10 +3,26 @@
 Single points are evaluated with :class:`ExperimentSetup` and
 :func:`evaluate_strategy`; grids of points are executed by the
 :class:`Campaign` runner, which shares one :class:`SolverCache` across all
-points and can fan them out over worker threads.
+points and can fan them out over worker threads.  The staged path —
+:class:`FlowGraph` over a content-addressed :class:`ArtifactStore` — runs
+the same pipeline as explicit stages and re-executes only stages whose
+input hashes changed, producing bitwise-identical results.
 """
 
+from .artifacts import (
+    ArtifactStore,
+    LegalizedArtifact,
+    PlacementArtifact,
+    PowerArtifact,
+    StaArtifact,
+    StoreStats,
+    ThermalArtifact,
+    WhitespaceArtifact,
+    netlist_digest,
+    placement_digest,
+)
 from .cache import CacheStats, SolverCache, geometry_key, package_fingerprint
+from .graph import STAGES, FlowGraph
 from .experiment import (
     DEFAULT_OVERHEADS,
     DEFAULT_STRATEGIES,
@@ -28,6 +44,18 @@ from .runner import (
 )
 
 __all__ = [
+    "ArtifactStore",
+    "StoreStats",
+    "FlowGraph",
+    "STAGES",
+    "PlacementArtifact",
+    "PowerArtifact",
+    "WhitespaceArtifact",
+    "LegalizedArtifact",
+    "ThermalArtifact",
+    "StaArtifact",
+    "netlist_digest",
+    "placement_digest",
     "CacheStats",
     "SolverCache",
     "geometry_key",

@@ -250,13 +250,24 @@ class SolverCache:
 
     @property
     def hits(self) -> int:
-        """Lookups answered from the cache so far."""
-        return self._hits
+        """Lookups answered from the cache so far.
+
+        Read under the cache lock: increments happen inside locked
+        sections, so an unlocked read racing a Campaign worker could
+        observe a torn view of the counters (hits observed without the
+        miss that preceded them).  Taking the lock makes every read a
+        consistent snapshot, which the exact-count assertions in
+        ``tests/test_solver_cache.py`` rely on.
+        """
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
-        """Lookups that built a new factorisation so far."""
-        return self._misses
+        """Lookups that built a new factorisation so far (locked read,
+        see :attr:`hits`)."""
+        with self._lock:
+            return self._misses
 
     def stats(self) -> CacheStats:
         """Snapshot of the cache counters."""

@@ -46,6 +46,7 @@ from ..thermal import (
 from ..thermal.solver import grid_for_placement
 from ..timing import DelayModel, StaticTimingAnalyzer, TimingReport
 from .cache import SolverCache
+from .graph import FlowGraph
 
 #: Overheads of the paper's Figure 6 sweep (fractions of the core area).
 DEFAULT_OVERHEADS = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40)
@@ -102,6 +103,7 @@ class ExperimentSetup:
         use_quadratic: bool = True,
         clock_period_ps: float = 1000.0,
         cache: Optional[SolverCache] = None,
+        flow: Optional[FlowGraph] = None,
     ) -> "ExperimentSetup":
         """Run the baseline flow: place, estimate power, solve thermal, STA.
 
@@ -121,39 +123,68 @@ class ExperimentSetup:
             clock_period_ps: Clock period for timing analysis (1 GHz).
             cache: Optional :class:`SolverCache`; the baseline geometry's
                 factorisation is stored there for later reuse.
+            flow: Optional :class:`~repro.flow.graph.FlowGraph`; the
+                baseline stages then run through the graph, so a second
+                ``prepare`` of the same circuit (or a strategy evaluation
+                sharing the prefix) reuses the stored artifacts instead of
+                re-running synthesis, placement and power estimation.
 
         Returns:
             The prepared :class:`ExperimentSetup`.
         """
         pkg = package if package is not None else default_package()
 
-        placement = place_design(
-            netlist, utilization=base_utilization, use_quadratic=use_quadratic
-        )
+        if flow is not None:
+            placement = flow.synth(
+                netlist, utilization=base_utilization, use_quadratic=use_quadratic
+            ).placement
+            # A warm synth hit returns the stored placement, whose netlist
+            # is a content-equal clone of the argument; downstream stages
+            # must use *that* object so coordinates and identity agree.
+            netlist = placement.netlist
+            power = flow.power(
+                netlist, workload,
+                num_cycles=num_cycles, batch_size=batch_size, seed=seed,
+            ).power
+            legal = flow.legalize(
+                placement, power, nx=grid_nx, ny=grid_ny, package=pkg
+            )
+            power_map = legal.power_map
+            thermal_map = flow.thermal(power_map, legal.grid).thermal_map
+        else:
+            placement = place_design(
+                netlist, utilization=base_utilization, use_quadratic=use_quadratic
+            )
 
-        activity = estimate_activity(
-            netlist,
-            workload.port_toggle_probabilities(netlist),
-            num_cycles=num_cycles,
-            batch_size=batch_size,
-            seed=seed,
-        )
-        power = PowerModel().estimate(netlist, activity)
+            activity = estimate_activity(
+                netlist,
+                workload.port_toggle_probabilities(netlist),
+                num_cycles=num_cycles,
+                batch_size=batch_size,
+                seed=seed,
+            )
+            power = PowerModel().estimate(netlist, activity)
 
-        # One binning pass serves both the thermal solve and the stored map.
-        power_map = build_power_map(placement, power, nx=grid_nx, ny=grid_ny)
-        thermal_map = simulate_placement(
-            placement, power, package=pkg, nx=grid_nx, ny=grid_ny,
-            cache=cache, power_map=power_map,
-        )
+            # One binning pass serves both the thermal solve and the stored map.
+            power_map = build_power_map(placement, power, nx=grid_nx, ny=grid_ny)
+            thermal_map = simulate_placement(
+                placement, power, package=pkg, nx=grid_nx, ny=grid_ny,
+                cache=cache, power_map=power_map,
+            )
         hotspots = detect_hotspots(
             thermal_map, placement, power=power, threshold_fraction=hotspot_threshold
         )
 
-        delay_model = DelayModel(temperature=thermal_map.peak)
-        timing = StaticTimingAnalyzer(
-            netlist, delay_model=delay_model, clock_period_ps=clock_period_ps
-        ).analyze()
+        if flow is not None:
+            timing = flow.sta(
+                placement, temperature=thermal_map.peak,
+                clock_period_ps=clock_period_ps,
+            ).timing
+        else:
+            delay_model = DelayModel(temperature=thermal_map.peak)
+            timing = StaticTimingAnalyzer(
+                netlist, delay_model=delay_model, clock_period_ps=clock_period_ps
+            ).analyze()
 
         return cls(
             netlist=netlist,
@@ -238,13 +269,36 @@ def prepare_evaluation(
     area_overhead: float,
     hotspot_threshold: Optional[float] = None,
     wrapper_ring_um: float = 6.0,
+    flow: Optional[FlowGraph] = None,
 ) -> PreparedEvaluation:
     """Apply one strategy at one overhead, stopping short of the solve.
 
     Runs the area-management transform and bins the transformed placement's
     power map, returning everything the thermal solve and the outcome
-    extraction need.
+    extraction need.  With ``flow`` given, the transform and binning run as
+    ``whitespace`` / ``legalize`` stages against the graph's artifact store
+    (``result`` is then the stage's
+    :class:`~repro.flow.artifacts.WhitespaceArtifact`, which carries the
+    same fields the outcome extraction reads).
     """
+    if flow is not None:
+        ws = flow.whitespace(
+            setup.placement, setup.power, setup.thermal_map,
+            strategy=strategy, area_overhead=area_overhead,
+            hotspot_threshold=hotspot_threshold, wrapper_ring_um=wrapper_ring_um,
+        )
+        legal = flow.legalize(
+            ws.placement, setup.power,
+            nx=setup.grid_nx, ny=setup.grid_ny, package=setup.package,
+        )
+        return PreparedEvaluation(
+            setup=setup,
+            strategy_spec=ws.strategy_spec,
+            requested_overhead=area_overhead,
+            result=ws,
+            power_map=legal.power_map,
+            grid=legal.grid,
+        )
     config = AreaManagementConfig(
         area_overhead=area_overhead,
         strategy=strategy,
@@ -276,18 +330,25 @@ def finish_evaluation(
     prepared: PreparedEvaluation,
     new_map: ThermalMap,
     analyze_timing: bool = True,
+    flow: Optional[FlowGraph] = None,
 ) -> StrategyOutcome:
     """Extract the :class:`StrategyOutcome` from a solved evaluation point."""
     setup = prepared.setup
     result = prepared.result
     timing_overhead_value: Optional[float] = None
     if analyze_timing:
-        delay_model = DelayModel(temperature=new_map.peak)
-        new_timing = StaticTimingAnalyzer(
-            result.placement.netlist,
-            delay_model=delay_model,
-            clock_period_ps=setup.timing.clock_period_ps,
-        ).analyze()
+        if flow is not None:
+            new_timing = flow.sta(
+                result.placement, temperature=new_map.peak,
+                clock_period_ps=setup.timing.clock_period_ps,
+            ).timing
+        else:
+            delay_model = DelayModel(temperature=new_map.peak)
+            new_timing = StaticTimingAnalyzer(
+                result.placement.netlist,
+                delay_model=delay_model,
+                clock_period_ps=setup.timing.clock_period_ps,
+            ).analyze()
         timing_overhead_value = new_timing.overhead_versus(setup.timing)
 
     return StrategyOutcome(
@@ -313,6 +374,7 @@ def evaluate_strategy(
     hotspot_threshold: Optional[float] = None,
     wrapper_ring_um: float = 6.0,
     cache: Optional[SolverCache] = None,
+    flow: Optional[FlowGraph] = None,
 ) -> StrategyOutcome:
     """Apply one strategy at one overhead and measure the outcome.
 
@@ -329,10 +391,29 @@ def evaluate_strategy(
             points whose transformed placements share a die outline (e.g.
             the hotspot wrapper reuses the Default outline at the same
             overhead) then share one prepared solver.
+        flow: Optional :class:`~repro.flow.graph.FlowGraph`; every stage of
+            the evaluation then runs against the graph's content-addressed
+            store, so repeated points re-run nothing and changed points
+            re-run only the stages whose input hashes changed.  Results are
+            bitwise-identical to the monolithic path.  ``cache`` is ignored
+            in favour of the graph's own solver cache.
 
     Returns:
         The measured :class:`StrategyOutcome`.
     """
+    if flow is not None:
+        prepared = prepare_evaluation(
+            setup, strategy, area_overhead,
+            hotspot_threshold=hotspot_threshold,
+            wrapper_ring_um=wrapper_ring_um,
+            flow=flow,
+        )
+        new_map = flow.thermal(
+            prepared.power_map, prepared.grid, warm_start=setup.thermal_map
+        ).thermal_map
+        return finish_evaluation(
+            prepared, new_map, analyze_timing=analyze_timing, flow=flow
+        )
     prepared = prepare_evaluation(
         setup,
         strategy,
@@ -370,6 +451,7 @@ def sweep_overheads(
     strategies: Sequence[StrategySpec] = DEFAULT_STRATEGIES,
     analyze_timing: bool = False,
     cache: Optional[SolverCache] = None,
+    flow: Optional[FlowGraph] = None,
 ) -> List[StrategyOutcome]:
     """Reproduce Figure 6: reduction versus overhead for every strategy.
 
@@ -384,6 +466,8 @@ def sweep_overheads(
         strategies: Strategies to evaluate.
         analyze_timing: Also compute the timing overhead per point (slower).
         cache: Solver cache to share; a fresh one is created when omitted.
+        flow: Optional :class:`~repro.flow.graph.FlowGraph` to run every
+            point through (see :func:`evaluate_strategy`).
 
     Returns:
         One :class:`StrategyOutcome` per (strategy, overhead) pair.
@@ -396,6 +480,7 @@ def sweep_overheads(
                 evaluate_strategy(
                     setup, strategy, overhead,
                     analyze_timing=analyze_timing, cache=shared_cache,
+                    flow=flow,
                 )
             )
     return outcomes

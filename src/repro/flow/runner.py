@@ -38,6 +38,7 @@ import numpy as np
 
 from ..core import StrategySpec, parse_strategy_spec, resolve_strategy
 from .cache import SolverCache
+from .graph import FlowGraph
 from .experiment import (
     DEFAULT_OVERHEADS,
     DEFAULT_STRATEGIES,
@@ -337,6 +338,16 @@ class Campaign:
             the per-point path to better than 1e-12 relative but are not
             bit-for-bit identical to it (per-lane iterates round
             differently), which is why batching is opt-in.
+        flow: Optional :class:`~repro.flow.graph.FlowGraph`; every point
+            then runs its stages against the graph's content-addressed
+            store, so points (or whole re-runs) whose stage inputs are
+            unchanged re-execute nothing.  When given and ``cache`` is
+            omitted, the graph's solver cache becomes the campaign's.  With
+            ``batch_solves`` the transform stages still go through the
+            graph but the grouped multi-RHS solves stay outside the
+            artifact store — batched temperature fields are not bitwise
+            reproducible per-point, so caching them would poison
+            content-addressed reuse.
     """
 
     def __init__(
@@ -348,6 +359,7 @@ class Campaign:
         cache: Optional[SolverCache] = None,
         name: str = "campaign",
         batch_solves: bool = False,
+        flow: Optional[FlowGraph] = None,
     ) -> None:
         if isinstance(setups, ExperimentSetup):
             setups = {setups.workload.name: setups}
@@ -357,7 +369,10 @@ class Campaign:
         self.strategies = tuple(resolve_strategy(spec).spec for spec in strategies)
         self.overheads = tuple(overheads)
         self.analyze_timing = analyze_timing
-        self.cache = cache if cache is not None else SolverCache()
+        self.flow = flow
+        if cache is None:
+            cache = flow.solver_cache if flow is not None else SolverCache()
+        self.cache = cache
         self.name = name
         self.batch_solves = batch_solves
 
@@ -384,6 +399,7 @@ class Campaign:
             point.overhead,
             analyze_timing=self.analyze_timing,
             cache=self.cache,
+            flow=self.flow,
         )
         elapsed = time.perf_counter() - start
         logger.info(
@@ -403,7 +419,8 @@ class Campaign:
     def _prepare(self, point: CampaignPoint) -> Tuple[PreparedEvaluation, float]:
         start = time.perf_counter()
         prepared = prepare_evaluation(
-            self.setups[point.workload], point.strategy, point.overhead
+            self.setups[point.workload], point.strategy, point.overhead,
+            flow=self.flow,
         )
         return prepared, time.perf_counter() - start
 
@@ -460,7 +477,7 @@ class Campaign:
     ) -> CampaignRecord:
         start = time.perf_counter()
         outcome = finish_evaluation(
-            prepared, new_map, analyze_timing=self.analyze_timing
+            prepared, new_map, analyze_timing=self.analyze_timing, flow=self.flow
         )
         elapsed = elapsed_so_far + (time.perf_counter() - start)
         logger.info(
@@ -554,4 +571,6 @@ class Campaign:
             "batch_solves": self.batch_solves,
             "num_solve_groups": self._num_solve_groups,
         }
+        if self.flow is not None:
+            metadata["flow_stages"] = self.flow.stats()
         return CampaignResult(records=list(records), metadata=metadata)

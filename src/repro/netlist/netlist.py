@@ -359,6 +359,39 @@ class Netlist:
         return clone
 
     # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+
+    def __reduce__(self):
+        """Pickle via flat per-object tables instead of graph traversal.
+
+        The Pin -> Net -> Pin object graph is as deep as the design's
+        connectivity, so default recursive pickling overflows the
+        interpreter stack on realistic netlists.  The state mirrors
+        :meth:`copy`: names, coordinates and name-based connectivity,
+        with the (immutable) library shared.  Caches (``_compiled``,
+        content-digest memos) are deliberately not part of the state.
+        """
+        cells = [
+            (c.name, c.master.name, c.unit, c.x, c.y, c.row, c.fixed)
+            for c in self.cells.values()
+        ]
+        ports = [(p.name, p.direction, p.x, p.y) for p in self.ports.values()]
+        nets = [
+            (
+                net.name,
+                (net.driver_pin.cell.name, net.driver_pin.name)
+                if net.driver_pin is not None
+                else None,
+                net.driver_port.name if net.driver_port is not None else None,
+                [(pin.cell.name, pin.name) for pin in net.sink_pins],
+                [port.name for port in net.sink_ports],
+            )
+            for net in self.nets.values()
+        ]
+        return (_netlist_from_state, (self.name, self.library, cells, ports, nets))
+
+    # ------------------------------------------------------------------
     # Statistics / validation
     # ------------------------------------------------------------------
 
@@ -402,3 +435,44 @@ class Netlist:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Netlist({self.name}, cells={self.num_cells}, nets={self.num_nets})"
+
+
+def _netlist_from_state(name, library, cells, ports, nets) -> Netlist:
+    """Rebuild a netlist from the flat state emitted by ``__reduce__``."""
+    netlist = Netlist(name, library)
+    clone_cells = netlist.cells
+    for cell_name, master_name, unit, x, y, row, fixed in cells:
+        inst = CellInstance(cell_name, library[master_name], unit=unit)
+        inst.x = x
+        inst.y = y
+        inst.row = row
+        inst.fixed = fixed
+        clone_cells[cell_name] = inst
+    clone_ports = netlist.ports
+    for port_name, direction, x, y in ports:
+        port = Port(port_name, direction)
+        port.x = x
+        port.y = y
+        clone_ports[port_name] = port
+    clone_nets = netlist.nets
+    for net_name, driver_pin, driver_port, sink_pins, sink_ports in nets:
+        net = Net(net_name)
+        if driver_pin is not None:
+            pin = clone_cells[driver_pin[0]].pins[driver_pin[1]]
+            net.driver_pin = pin
+            pin.net = net
+        if driver_port is not None:
+            port = clone_ports[driver_port]
+            net.driver_port = port
+            port.net = net
+        for cell_name, pin_name in sink_pins:
+            pin = clone_cells[cell_name].pins[pin_name]
+            net.sink_pins.append(pin)
+            pin.net = net
+        for port_name in sink_ports:
+            port = clone_ports[port_name]
+            net.sink_ports.append(port)
+            port.net = net
+        clone_nets[net_name] = net
+    netlist._invalidate()
+    return netlist

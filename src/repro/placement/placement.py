@@ -468,6 +468,18 @@ class Placement:
         duplicate.rebuild_rows()
         return duplicate
 
+    def __reduce__(self):
+        """Pickle via the netlist's flat state plus geometry.
+
+        Rows are derived data (rebuilt from cell coordinates exactly as
+        :meth:`copy` does), so only the netlist, the floorplan and the
+        region map are serialized.
+        """
+        return (
+            _placement_from_state,
+            (self.netlist, self.floorplan, dict(self.regions)),
+        )
+
     def statistics(self) -> Dict[str, float]:
         """Summary statistics for reports."""
         return {
@@ -486,3 +498,13 @@ class Placement:
             f"Placement({self.netlist.name}, rows={len(self.rows)}, "
             f"util={self.utilization():.3f})"
         )
+
+
+def _placement_from_state(
+    netlist: Netlist, floorplan: Floorplan, regions: Dict[str, Rect]
+) -> Placement:
+    """Rebuild a placement from the state emitted by ``__reduce__``."""
+    placement = Placement(netlist, floorplan)
+    placement.regions = regions
+    placement.rebuild_rows()
+    return placement

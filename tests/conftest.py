@@ -7,6 +7,9 @@ always work on copies.
 
 from __future__ import annotations
 
+import os
+import random
+
 import pytest
 
 from repro.bench import small_synthetic_circuit, scattered_hotspots_workload
@@ -14,6 +17,24 @@ from repro.netlist import Netlist, default_library
 from repro.placement import place_design
 from repro.power import PowerModel, estimate_activity
 from repro.thermal import default_package, simulate_placement
+
+
+def pytest_collection_modifyitems(config, items):
+    """Optionally shuffle the collected test order.
+
+    Setting ``REPRO_TEST_SHUFFLE_SEED=<int>`` runs the suite in a
+    seed-deterministic random order, so hidden inter-test coupling (shared
+    mutable fixtures, leaked module state, order-dependent caches) shows up
+    in CI instead of in a user's tree.  Unset, the order is untouched.
+    """
+    seed = os.environ.get("REPRO_TEST_SHUFFLE_SEED")
+    if not seed:
+        return
+    rng = random.Random(int(seed))
+    rng.shuffle(items)
+    reporter = config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        reporter.write_line(f"test order shuffled with seed {seed}")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,229 @@
+"""Property tests for the content-addressed artifact keys.
+
+Two invariants make the flow graph trustworthy:
+
+* **Sensitivity** — any semantically meaningful mutation (a moved cell, an
+  added gate, a different overhead, another solver backend) changes the
+  digest of every stage it feeds, so a stale artifact can never be served.
+* **Stability** — semantically neutral round-trips (``Netlist.copy()``,
+  pickling, re-parsing a canonical strategy spec such as ``hw:ring_um=8``
+  versus ``hw:ring_um=8.0``) leave the digests bit-for-bit unchanged, so
+  equal work is never repeated.
+
+The digests feed :class:`~repro.flow.graph.FlowGraph` stage keys, so both
+directions are also checked at the stage level through execution counters.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.flow import ArtifactStore, FlowGraph, netlist_digest, placement_digest
+from repro.flow.artifacts import hash_parts, power_digest, thermal_map_digest
+from repro.netlist.cell import CellInstance
+
+_SETTINGS = dict(max_examples=20, deadline=None,
+                 suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+
+def _clone(placement):
+    """An independent, content-equal copy of a placement."""
+    return pickle.loads(pickle.dumps(placement))
+
+
+class TestHashParts:
+    @given(value=st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+        st.floats(allow_nan=False),
+        st.text(max_size=40),
+        st.binary(max_size=40),
+        st.lists(st.floats(allow_nan=False), max_size=10),
+        st.dictionaries(st.text(max_size=8), st.integers(), max_size=6),
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_digest_is_deterministic(self, value):
+        assert hash_parts(value) == hash_parts(value)
+
+    @given(a=st.floats(allow_nan=False), b=st.floats(allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_floats_have_distinct_digests(self, a, b):
+        """hash-equal <=> bitwise-equal for the float encoding."""
+        if a == b:
+            assert hash_parts(a) == hash_parts(b)
+        else:
+            assert hash_parts(a) != hash_parts(b)
+
+    def test_types_are_tagged(self):
+        # 1 vs 1.0 vs True vs "1" must all be distinct key material even
+        # though Python considers some of them equal.
+        digests = {hash_parts(1), hash_parts(1.0), hash_parts(True), hash_parts("1")}
+        assert len(digests) == 4
+
+    def test_containers_are_shape_sensitive(self):
+        assert hash_parts([1, 2], [3]) != hash_parts([1], [2, 3])
+        a = np.arange(6, dtype=float)
+        assert hash_parts(a.reshape(2, 3)) != hash_parts(a.reshape(3, 2))
+
+    def test_unsupported_types_are_rejected(self):
+        with pytest.raises(TypeError):
+            hash_parts(object())
+
+
+class TestNoOpRoundTrips:
+    def test_netlist_copy_preserves_digest(self, small_circuit):
+        assert netlist_digest(small_circuit.copy()) == netlist_digest(small_circuit)
+
+    def test_pickle_round_trip_preserves_digests(self, small_placement):
+        clone = _clone(small_placement)
+        assert netlist_digest(clone.netlist) == netlist_digest(small_placement.netlist)
+        assert placement_digest(clone) == placement_digest(small_placement)
+
+    def test_power_report_round_trip(self, small_power):
+        clone = pickle.loads(pickle.dumps(small_power))
+        assert power_digest(clone) == power_digest(small_power)
+
+    def test_thermal_map_round_trip(self, small_thermal):
+        clone = pickle.loads(pickle.dumps(small_thermal))
+        assert thermal_map_digest(clone) == thermal_map_digest(small_thermal)
+
+    def test_canonical_spec_reparse_is_a_stage_hit(
+        self, small_placement, small_power, small_thermal
+    ):
+        """``hw:ring_um=8`` and ``hw:ring_um=8.0`` canonicalise to the same
+        spec, so the second request must be served from the store."""
+        flow = FlowGraph(store=ArtifactStore())
+        first = flow.whitespace(
+            small_placement, small_power, small_thermal, strategy="hw:ring_um=8"
+        )
+        again = flow.whitespace(
+            small_placement, small_power, small_thermal, strategy="hw:ring_um=8.0"
+        )
+        assert flow.stage_executions["whitespace"] == 1
+        assert flow.stage_hits["whitespace"] == 1
+        assert again.key == first.key
+
+    def test_digest_is_identity_insensitive(self, small_placement):
+        """Two object graphs with equal content share one key space."""
+        flow = FlowGraph(store=ArtifactStore())
+        k1 = flow.synth(small_placement.netlist.copy()).key
+        k2 = flow.synth(small_placement.netlist.copy()).key
+        assert k1 == k2
+        assert flow.stage_executions["synth"] == 1
+
+
+class TestMutationSensitivity:
+    @given(cell_index=st.integers(min_value=0, max_value=10_000),
+           delta=st.floats(min_value=0.25, max_value=40.0))
+    @settings(**_SETTINGS)
+    def test_moving_any_cell_changes_placement_digest_only(
+        self, small_placement, cell_index, delta
+    ):
+        clone = _clone(small_placement)
+        cells = list(clone.netlist.cells.values())
+        cell = cells[cell_index % len(cells)]
+        before_placement = placement_digest(clone)
+        before_netlist = netlist_digest(clone.netlist)
+        cell.place(cell.x + delta, cell.y, cell.row)
+        assert placement_digest(clone) != before_placement
+        assert netlist_digest(clone.netlist) == before_netlist
+
+    def test_ulp_sized_move_changes_digest(self, small_placement):
+        """Even a one-ULP coordinate change is a different placement."""
+        clone = _clone(small_placement)
+        cell = next(iter(clone.netlist.cells.values()))
+        before = placement_digest(clone)
+        cell.place(math.nextafter(cell.x, math.inf), cell.y, cell.row)
+        assert placement_digest(clone) != before
+
+    @given(width=st.integers(min_value=1, max_value=6))
+    @settings(**_SETTINGS)
+    def test_structural_edit_changes_netlist_digest(self, small_placement, width):
+        clone = _clone(small_placement)
+        before = netlist_digest(clone.netlist)
+        previous = None
+        for i in range(width):
+            cell = clone.netlist.add_cell(f"added_{i}", "INV_X1", unit="extra")
+            clone.netlist.connect(f"added_net_{i}", cell.pin("A"))
+            if previous is not None:
+                clone.netlist.connect(f"added_net_{i}", previous.pin("Y"))
+            previous = cell
+        assert netlist_digest(clone.netlist) != before
+
+    def test_direct_coordinate_write_plus_epoch_bump(self, small_placement):
+        """The documented contract for raw x/y writes: bump the epoch and
+        the memoised digest refreshes."""
+        clone = _clone(small_placement)
+        before = placement_digest(clone)
+        cell = next(iter(clone.netlist.cells.values()))
+        cell.x += 3.0
+        CellInstance.bump_placement_epoch()
+        assert placement_digest(clone) != before
+
+    def test_power_perturbation_changes_power_digest(self, small_power):
+        from dataclasses import replace
+
+        from repro.power import PowerReport
+
+        powers = dict(small_power.cell_powers)
+        name = next(iter(powers))
+        entry = powers[name]
+        powers[name] = replace(
+            entry, switching=math.nextafter(entry.switching, math.inf)
+        )
+        perturbed = PowerReport(
+            powers, small_power.frequency_hz, small_power.temperature
+        )
+        assert power_digest(perturbed) != power_digest(small_power)
+
+
+class TestStageKeySensitivity:
+    def test_overhead_and_strategy_change_whitespace_key(
+        self, small_placement, small_power, small_thermal
+    ):
+        flow = FlowGraph(store=ArtifactStore())
+        base = flow.whitespace(small_placement, small_power, small_thermal,
+                               strategy="eri", area_overhead=0.15)
+        other_overhead = flow.whitespace(small_placement, small_power, small_thermal,
+                                         strategy="eri", area_overhead=0.20)
+        other_strategy = flow.whitespace(small_placement, small_power, small_thermal,
+                                         strategy="default", area_overhead=0.15)
+        keys = {base.key, other_overhead.key, other_strategy.key}
+        assert len(keys) == 3
+        assert flow.stage_executions["whitespace"] == 3
+
+    def test_solver_method_changes_thermal_key(
+        self, small_placement, small_power
+    ):
+        flow = FlowGraph(store=ArtifactStore())
+        legal = flow.legalize(small_placement, small_power, nx=12, ny=12)
+        lu = flow.thermal(legal.power_map, legal.grid, method="lu")
+        mg = flow.thermal(legal.power_map, legal.grid, method="multigrid")
+        assert lu.key != mg.key
+        assert flow.stage_executions["thermal"] == 2
+        # Same method again: pure hit.
+        flow.thermal(legal.power_map, legal.grid, method="lu")
+        assert flow.stage_executions["thermal"] == 2
+        assert flow.stage_hits["thermal"] == 1
+
+    def test_grid_resolution_changes_legalize_key(
+        self, small_placement, small_power
+    ):
+        flow = FlowGraph(store=ArtifactStore())
+        a = flow.legalize(small_placement, small_power, nx=12, ny=12)
+        b = flow.legalize(small_placement, small_power, nx=16, ny=16)
+        assert a.key != b.key
+        assert flow.stage_executions["legalize"] == 2
+
+    def test_temperature_changes_sta_key(self, small_placement):
+        flow = FlowGraph(store=ArtifactStore())
+        cold = flow.sta(small_placement, temperature=40.0)
+        hot = flow.sta(small_placement, temperature=math.nextafter(40.0, math.inf))
+        assert cold.key != hot.key
+        assert flow.stage_executions["sta"] == 2

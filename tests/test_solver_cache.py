@@ -201,3 +201,50 @@ class TestBounds:
         cache.clear()
         assert len(cache) == 0
         assert cache.stats().misses == 1
+
+
+class TestCounterExactness:
+    """Hit/miss counters are exact under concurrency, not approximate.
+
+    Every increment and every read happens under the cache lock, so after
+    N threads each perform R requests over G geometries the counters must
+    satisfy ``misses == G`` and ``hits == N * R - G`` *exactly* — the kind
+    of assertion a torn or racy counter read would fail intermittently.
+    """
+
+    def test_exact_counts_across_threads_and_geometries(self, small_placement):
+        cache = SolverCache()
+        grids = [
+            grid_for_placement(small_placement, package=default_package(), nx=n, ny=n)
+            for n in (8, 10, 12)
+        ]
+        num_threads, rounds = 8, 6
+        barrier = threading.Barrier(num_threads)
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait()
+                for round_index in range(rounds):
+                    for grid in grids:
+                        assert cache.solver(grid) is not None
+                        # Interleave locked property reads with lookups: a
+                        # torn snapshot would let hits outrun total requests.
+                        assert cache.hits <= num_threads * rounds * len(grids)
+                        assert cache.misses <= len(grids)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        total_requests = num_threads * rounds * len(grids)
+        assert cache.misses == len(grids)
+        assert cache.hits == total_requests - len(grids)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (cache.hits, cache.misses)
+        assert stats.hits + stats.misses == total_requests
