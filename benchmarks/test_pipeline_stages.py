@@ -65,6 +65,7 @@ MIN_STA_SPEEDUP = 2.0
 MIN_BINNING_SPEEDUP = 3.0
 MIN_THERMAL_SOLVE_SPEEDUP = 2.8
 MIN_STAGED_REPLAY_SPEEDUP = 3.0
+MIN_RESUME_SPEEDUP = 5.0
 
 #: Thermal grid resolution of the thermal_solve stage: the paper's 40 x 40
 #: at full size, reduced for CI smoke so the LU baseline stays cheap.
@@ -375,6 +376,61 @@ class TestPipelineStages:
             assert speedup >= MIN_STAGED_REPLAY_SPEEDUP, (
                 f"warm staged replay only {speedup:.2f}x faster than the "
                 f"monolithic sweep"
+            )
+
+    def test_campaign_resume(self, tmp_path):
+        """Warm campaign replay against a persistent result store.
+
+        A cold campaign evaluates every grid point and publishes each
+        record to an on-disk :class:`ResultStore`; the warm rerun — a
+        fresh store instance over the same root, as after a restart —
+        answers the whole grid from disk and evaluates nothing.  That
+        replay is the cost of resuming an interrupted (or repeated) sweep,
+        and it must dominate recomputation.  Correctness is asserted at
+        every size: zero points evaluated on the warm run and records
+        identical to the cold run's.
+        """
+        from repro.flow import Campaign, ResultStore
+
+        strategies = ("default", "eri", "hw")
+        overheads = (0.05, 0.1, 0.15, 0.2)
+        netlist = (
+            small_synthetic_circuit() if SMOKE else build_synthetic_circuit()
+        )
+        workload = scattered_hotspots_workload(netlist)
+        setup = ExperimentSetup.prepare(netlist, workload)
+        root = tmp_path / "results"
+
+        def run(tag):
+            campaign = Campaign(
+                setup, strategies, overheads,
+                result_store=ResultStore(root=root), name=tag,
+            )
+            return campaign.run()
+
+        gc.collect()
+        start = time.perf_counter()
+        cold = run("bench-cold")
+        cold_s = time.perf_counter() - start
+        assert cold.metadata["num_evaluated"] == len(cold.records)
+
+        warm_s, warm = _best(lambda: run("bench-warm"))
+        assert warm.metadata["num_evaluated"] == 0
+        assert warm.metadata["store_hits"] == len(cold.records)
+        assert [record.outcome for record in warm.records] == [
+            record.outcome for record in cold.records
+        ]
+
+        speedup = _record(
+            "campaign_resume", cold_s, warm_s,
+            floor=MIN_RESUME_SPEEDUP,
+            num_points=len(cold.records),
+            store_root_entries=warm.metadata["result_store"]["disk_hits"],
+        )
+        if not SMOKE:
+            assert speedup >= MIN_RESUME_SPEEDUP, (
+                f"warm campaign replay only {speedup:.2f}x faster than the "
+                f"cold run"
             )
 
     def test_quickstart_end_to_end(self):

@@ -25,10 +25,22 @@ records to JSON/CSV; ``python -m repro sweep`` drives the same machinery
 from the shell (see :mod:`repro.cli`).
 """
 
-from . import analysis, bench, core, engine, flow, netlist, placement, power, thermal, timing
+from . import (
+    analysis,
+    bench,
+    core,
+    engine,
+    flow,
+    netlist,
+    placement,
+    power,
+    service,
+    thermal,
+    timing,
+)
 from .engine import get_engine, set_engine, use_engine
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "analysis",
@@ -38,6 +50,7 @@ __all__ = [
     "netlist",
     "placement",
     "power",
+    "service",
     "thermal",
     "timing",
     "engine",

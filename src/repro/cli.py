@@ -1,7 +1,7 @@
 """Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
-Four subcommands drive the campaign runner end to end and persist results
-to disk:
+Seven subcommands drive the campaign machinery end to end and persist
+results to disk:
 
 ``quickstart``
     The full Figure-2 flow on one strategy/overhead point — place, estimate
@@ -10,11 +10,28 @@ to disk:
 ``sweep``
     The Figure-6 grid (strategy x overhead) on the scattered-hotspot test
     set, executed by :class:`~repro.flow.runner.Campaign` with a shared
-    solver cache, written as JSON (and optionally CSV).
+    solver cache, written as JSON (and optionally CSV).  With
+    ``--result-store DIR`` the sweep is incremental and resumable
+    (Ctrl-C flushes finished points; a rerun computes only the rest), and
+    ``--executor process`` shards points across worker processes.
 
 ``table1``
     The Table-I concentrated-hotspot comparison (Default versus ERI at
     matched row counts), written as JSON (and optionally CSV).
+
+``serve``
+    Long-running sweep daemon: prepares the baselines once, then answers
+    client sweep requests from the result store, deduplicates in-flight
+    points across requests, and solves the rest in cross-request
+    geometry-grouped batches.
+
+``submit``
+    Client for ``serve``: submit one sweep request and write the records
+    exactly like a local ``sweep`` run.
+
+``cache``
+    Inspect (``stats``) or prune (``prune``, by age and/or size) on-disk
+    artifact caches and result stores.
 
 ``strategies``
     List the registered whitespace strategies with their defaults and
@@ -51,10 +68,13 @@ from .flow import (
     CampaignResult,
     ExperimentSetup,
     FlowGraph,
+    ResultStore,
     SolverCache,
     concentrated_hotspot_table,
     evaluate_strategy,
+    prune_store,
     records_from_outcomes,
+    scan_store,
 )
 
 logger = logging.getLogger("repro.cli")
@@ -267,14 +287,21 @@ def run_sweep(args: argparse.Namespace) -> int:
     """The Figure-6 (strategy x overhead) grid via the campaign runner."""
     flow = _build_flow(args)
     setup = _prepare_setup(args, scattered_hotspots_workload, flow)
+    store = ResultStore(root=args.result_store) if args.result_store else None
+    # The process executor is incompatible with batched solves and the
+    # artifact graph (both are per-process); it brings its own parallelism.
+    sharded = args.executor == "process"
     campaign = Campaign(
         setup,
         strategies=_flatten_strategies(args.strategies),
         overheads=tuple(args.overheads),
         analyze_timing=args.timing,
+        cache=flow.solver_cache,
         name="figure6-sweep",
-        batch_solves=True,
-        flow=flow,
+        batch_solves=not sharded,
+        flow=None if sharded else flow,
+        result_store=store,
+        executor=args.executor,
     )
     result = campaign.run(max_workers=args.jobs)
     result.metadata.update({
@@ -287,6 +314,11 @@ def run_sweep(args: argparse.Namespace) -> int:
           f"(solver cache: {result.cache_hits} hits / {result.cache_misses} "
           f"builds, {result.cache_hit_rate * 100:.0f}% hit rate, "
           f"{result.metadata['num_solve_groups']} batched solve groups)")
+    if store is not None:
+        print(f"result store: {result.metadata['store_hits']} stored point(s) "
+              f"reused, {result.metadata['num_evaluated']} evaluated")
+    if result.metadata.get("interrupted"):
+        print("interrupted: rerun with the same --result-store to resume")
     print(f"flow stages: {_stage_summary(flow)}")
     _write_result(result, args, "figure6")
     return 0
@@ -317,6 +349,112 @@ def run_table1(args: argparse.Namespace) -> int:
     print(table1_report(outcomes))
     _write_result(result, args, "table1")
     return 0
+
+
+#: Workload builders ``repro serve`` can prepare, by short name.
+SERVE_WORKLOADS = {
+    "scattered": scattered_hotspots_workload,
+    "concentrated": concentrated_hotspot_workload,
+}
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Start the long-running sweep daemon (see :mod:`repro.service`)."""
+    from .service import SweepServer
+
+    flow = _build_flow(args)
+    setups = {}
+    for short_name in args.workloads:
+        # Each workload gets its own circuit instance: preparation places
+        # the design, mutating the netlist's coordinates.
+        setup = _prepare_setup(args, SERVE_WORKLOADS[short_name], flow)
+        setups[setup.workload.name] = setup
+    store = ResultStore(root=args.result_store)
+    server = SweepServer(
+        setups,
+        result_store=store,
+        cache=flow.solver_cache,
+        host=args.host,
+        port=args.port,
+        batch_window_s=args.batch_window,
+        max_workers=args.jobs,
+    )
+    host, port = server.address
+    print(f"repro serve: listening on {host}:{port}, "
+          f"workloads {sorted(setups)}"
+          + (f", result store {args.result_store}" if args.result_store else ""))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+        server.shutdown()
+    return 0
+
+
+def run_submit(args: argparse.Namespace) -> int:
+    """Submit one sweep request to a running ``repro serve`` daemon."""
+    from .service import ServiceError, SweepClient
+
+    client = SweepClient(args.host, args.port, timeout=args.timeout)
+    try:
+        workload = args.workload
+        if workload is None:
+            served = client.ping()["workloads"]
+            if not served:
+                print("repro submit: error: server serves no workloads",
+                      file=sys.stderr)
+                return 2
+            workload = served[0]
+        result, stats = client.sweep(
+            workload,
+            strategies=_flatten_strategies(args.strategies),
+            overheads=tuple(args.overheads),
+            analyze_timing=args.timing,
+        )
+    except (ServiceError, OSError) as error:
+        print(f"repro submit: error: {error}", file=sys.stderr)
+        return 2
+    print(figure6_report(result.outcomes()))
+    server_stats = stats.get("server", {})
+    print(f"{stats['num_points']} points: {stats['store_hits']} from store, "
+          f"{stats['inflight_joins']} joined in-flight, "
+          f"{stats['computed']} computed "
+          f"(server lifetime: {server_stats.get('points_solved', '?')} solved "
+          f"in {server_stats.get('num_solve_groups', '?')} solve groups)")
+    _write_result(result, args, f"submit-{workload}")
+    return 0
+
+
+def run_cache(args: argparse.Namespace) -> int:
+    """Inspect or prune on-disk artifact caches and result stores."""
+    status = 0
+    for root in args.roots:
+        if not root.exists():
+            print(f"{root}: no store (directory does not exist)")
+            status = 1
+            continue
+        if args.action == "stats":
+            usage = scan_store(root)
+            print(f"{root}: {usage.entries} entries, "
+                  f"{usage.total_bytes / 1e6:.2f} MB"
+                  + (f", {usage.stray_files} stray file(s)"
+                     if usage.stray_files else ""))
+            for group in sorted(usage.by_group):
+                count, size = usage.by_group[group]
+                print(f"  {group:<12} {count:6d} entries  {size / 1e6:9.2f} MB")
+        else:  # prune
+            report = prune_store(
+                root,
+                max_age_days=args.max_age_days,
+                max_size_mb=args.max_size_mb,
+                dry_run=args.dry_run,
+            )
+            verb = "would remove" if args.dry_run else "removed"
+            print(f"{root}: {verb} {report.removed} entries "
+                  f"({report.freed_bytes / 1e6:.2f} MB), kept {report.kept}"
+                  + (f", cleaned {report.strays_removed} stray file(s)"
+                     if report.strays_removed else ""))
+    return status
 
 
 def run_strategies(args: argparse.Namespace) -> int:
@@ -391,7 +529,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--jobs", type=int, default=None, metavar="N",
-        help="worker threads (default: one per CPU)",
+        help="worker threads or processes (default: one per CPU)",
+    )
+    sweep.add_argument(
+        "--result-store", type=Path, default=None, metavar="DIR",
+        help="persist one record per completed grid point under DIR; a "
+             "repeated or interrupted-and-rerun sweep then recomputes only "
+             "the missing points",
+    )
+    sweep.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="fan points out over threads (default) or shard them across "
+             "worker processes with shared-memory baselines",
     )
     sweep.set_defaults(handler=run_sweep)
 
@@ -408,6 +557,115 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run static timing analysis per point (slower)",
     )
     table1.set_defaults(handler=run_table1)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived batching sweep daemon",
+    )
+    _add_common_arguments(serve)
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=7410,
+        help="bind port; 0 picks a free one (default: 7410)",
+    )
+    serve.add_argument(
+        "--workloads", nargs="+", choices=sorted(SERVE_WORKLOADS),
+        default=["scattered"],
+        help="workload baselines to prepare and serve (default: scattered)",
+    )
+    serve.add_argument(
+        "--result-store", type=Path, default=None, metavar="DIR",
+        help="persist served records under DIR (shared with offline "
+             "'repro sweep --result-store' runs and across restarts)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.05, metavar="SECONDS",
+        help="how long to gather points across requests before solving a "
+             "cross-request batch (default: 0.05)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker threads per batch evaluation (default: one per CPU)",
+    )
+    serve.set_defaults(handler=run_serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one sweep request to a running serve daemon",
+    )
+    submit.add_argument(
+        "--host", default="127.0.0.1",
+        help="server address (default: 127.0.0.1)",
+    )
+    submit.add_argument(
+        "--port", type=int, default=7410,
+        help="server port (default: 7410)",
+    )
+    submit.add_argument(
+        "--workload", default=None, metavar="NAME",
+        help="served workload to sweep (default: the server's first)",
+    )
+    submit.add_argument(
+        "--strategies", nargs="+", default=["default", "eri", "hw"],
+        type=_strategy_spec_list, metavar="SPEC",
+        help="strategy specs to sweep (default: default eri hw)",
+    )
+    submit.add_argument(
+        "--overheads", nargs="+", type=float, default=list(SWEEP_OVERHEADS),
+        help="area-overhead sweep points (default: 5%% to 30%%)",
+    )
+    submit.add_argument(
+        "--timing", action="store_true",
+        help="also request static timing analysis per point",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="request timeout (default: 600)",
+    )
+    submit.add_argument(
+        "--out", type=Path, default=Path("results"),
+        help="directory for result files (default: results/)",
+    )
+    submit.add_argument(
+        "--csv", action="store_true",
+        help="also write the records as CSV next to the JSON file",
+    )
+    submit.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log request progress",
+    )
+    submit.set_defaults(handler=run_submit)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or prune on-disk artifact/result stores",
+    )
+    cache.add_argument(
+        "action", choices=("stats", "prune"),
+        help="stats: show entry counts and sizes; prune: delete entries "
+             "by age/size and clean stray temp/lock files",
+    )
+    cache.add_argument(
+        "roots", nargs="+", type=Path, metavar="DIR",
+        help="store directories (an --artifact-cache or --result-store DIR)",
+    )
+    cache.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="prune: remove entries older than DAYS",
+    )
+    cache.add_argument(
+        "--max-size-mb", type=float, default=None, metavar="MB",
+        help="prune: then remove oldest entries until the store fits MB",
+    )
+    cache.add_argument(
+        "--dry-run", action="store_true",
+        help="prune: report what would be removed without deleting",
+    )
+    cache.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log while scanning",
+    )
+    cache.set_defaults(handler=run_cache)
 
     strategies = subparsers.add_parser(
         "strategies", help="list the registered whitespace strategies",

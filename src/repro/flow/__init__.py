@@ -3,10 +3,15 @@
 Single points are evaluated with :class:`ExperimentSetup` and
 :func:`evaluate_strategy`; grids of points are executed by the
 :class:`Campaign` runner, which shares one :class:`SolverCache` across all
-points and can fan them out over worker threads.  The staged path —
-:class:`FlowGraph` over a content-addressed :class:`ArtifactStore` — runs
-the same pipeline as explicit stages and re-executes only stages whose
-input hashes changed, producing bitwise-identical results.
+points and can fan them out over worker threads or — with
+``executor="process"`` — shard them across worker processes that share the
+baseline arrays via shared memory.  The staged path — :class:`FlowGraph`
+over a content-addressed :class:`ArtifactStore` — runs the same pipeline
+as explicit stages and re-executes only stages whose input hashes changed,
+producing bitwise-identical results.  A persistent :class:`ResultStore`
+makes whole campaigns incremental: completed grid points are published as
+they finish and reused verbatim by any later (or interrupted-and-rerun)
+sweep, across processes and across the ``repro serve`` daemon.
 """
 
 from .artifacts import (
@@ -42,10 +47,28 @@ from .runner import (
     CampaignResult,
     records_from_outcomes,
 )
+from .store import (
+    PruneReport,
+    ResultStore,
+    ResultStoreStats,
+    StoreUsage,
+    prune_store,
+    result_key,
+    scan_store,
+    setup_digest,
+)
 
 __all__ = [
     "ArtifactStore",
     "StoreStats",
+    "ResultStore",
+    "ResultStoreStats",
+    "StoreUsage",
+    "PruneReport",
+    "setup_digest",
+    "result_key",
+    "scan_store",
+    "prune_store",
     "FlowGraph",
     "STAGES",
     "PlacementArtifact",

@@ -348,6 +348,60 @@ class StaArtifact:
 _MAGIC = b"repro-artifact/1\n"
 
 
+class BlobIntegrityError(Exception):
+    """An on-disk entry exists but its payload failed verification.
+
+    Raised by :func:`read_blob` for truncated, bit-flipped or otherwise
+    damaged entries — anything whose SHA-256 does not match its header, or
+    that matches but does not deserialize.  Callers evict and recompute.
+    """
+
+
+def write_blob(path: Path, obj) -> None:
+    """Atomically publish ``obj`` to ``path`` as a verified pickle blob.
+
+    The entry is ``magic + sha256(payload) + payload``, written to a
+    process/thread-unique temp file and :func:`os.replace`d into place — a
+    concurrent reader sees the old entry or the new one, never a
+    half-written file.  Both :class:`ArtifactStore` and
+    :class:`~repro.flow.store.ResultStore` persist entries this way.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = _MAGIC + hashlib.sha256(payload).hexdigest().encode("ascii") + b"\n" + payload
+    tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+    tmp.write_bytes(blob)
+    os.replace(tmp, path)
+
+
+def read_blob(path: Path):
+    """Read and verify a blob written by :func:`write_blob`.
+
+    Returns:
+        The deserialized object.
+
+    Raises:
+        OSError: The entry does not exist (or cannot be read).
+        BlobIntegrityError: The entry exists but fails the integrity check
+            or does not unpickle.
+    """
+    blob = path.read_bytes()
+    if not blob.startswith(_MAGIC):
+        raise BlobIntegrityError(f"{path}: bad magic")
+    header_end = len(_MAGIC) + 64 + 1
+    expected = blob[len(_MAGIC):header_end - 1].decode("ascii", "replace")
+    payload = blob[header_end:]
+    if hashlib.sha256(payload).hexdigest() != expected:
+        raise BlobIntegrityError(f"{path}: payload digest mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        # A payload that hashes correctly but does not deserialize (e.g.
+        # written by an incompatible code version despite the magic) is
+        # treated exactly like corruption.
+        raise BlobIntegrityError(f"{path}: payload does not deserialize") from error
+
+
 @dataclass(frozen=True)
 class StoreStats:
     """Artifact-store counters at one point in time.
@@ -471,38 +525,15 @@ class ArtifactStore:
     # -- disk tier -----------------------------------------------------------
 
     def _write_disk(self, stage: str, key: str, artifact) -> None:
-        path = self._path(stage, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
-        blob = _MAGIC + hashlib.sha256(payload).hexdigest().encode("ascii") + b"\n" + payload
-        # Atomic publish: a concurrent reader sees the old entry or the new
-        # one, never a half-written file.
-        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
-        tmp.write_bytes(blob)
-        os.replace(tmp, path)
+        write_blob(self._path(stage, key), artifact)
 
     def _read_disk(self, stage: str, key: str):
         path = self._path(stage, key)
         try:
-            blob = path.read_bytes()
+            return read_blob(path)
         except OSError:
             return None
-        payload = None
-        if blob.startswith(_MAGIC):
-            header_end = len(_MAGIC) + 64 + 1
-            expected = blob[len(_MAGIC):header_end - 1].decode("ascii", "replace")
-            body = blob[header_end:]
-            if hashlib.sha256(body).hexdigest() == expected:
-                payload = body
-        if payload is None:
-            self._evict_corrupt(path)
-            return None
-        try:
-            return pickle.loads(payload)
-        except Exception:
-            # A payload that hashes correctly but does not deserialize
-            # (e.g. written by an incompatible code version despite the
-            # magic) is treated exactly like corruption.
+        except BlobIntegrityError:
             self._evict_corrupt(path)
             return None
 
@@ -566,4 +597,7 @@ __all__ = [
     "StaArtifact",
     "ArtifactStore",
     "StoreStats",
+    "BlobIntegrityError",
+    "write_blob",
+    "read_blob",
 ]

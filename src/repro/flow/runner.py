@@ -27,6 +27,8 @@ import csv
 import json
 import logging
 import os
+import signal
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -37,6 +39,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core import StrategySpec, parse_strategy_spec, resolve_strategy
+from ..engine import get_engine
+from ..thermal.solver import grid_for_placement, resolve_thermal_method
 from .cache import SolverCache
 from .graph import FlowGraph
 from .experiment import (
@@ -49,6 +53,10 @@ from .experiment import (
     finish_evaluation,
     prepare_evaluation,
 )
+from .store import ResultStore, result_key, setup_digest
+
+#: Executors :class:`Campaign` accepts.
+EXECUTORS = ("thread", "process")
 
 logger = logging.getLogger(__name__)
 
@@ -348,6 +356,20 @@ class Campaign:
             artifact store — batched temperature fields are not bitwise
             reproducible per-point, so caching them would poison
             content-addressed reuse.
+        result_store: Optional :class:`~repro.flow.store.ResultStore`.
+            Every completed point is published to it as soon as the point
+            finishes, and every run starts by sweeping the grid against it
+            — so repeated sweeps are incremental (only new points compute)
+            and an interrupted sweep resumes for free on rerun.  A store
+            with an on-disk root is shared safely by concurrent campaigns,
+            sharded worker processes and the ``repro serve`` daemon.
+        executor: ``"thread"`` (default) fans points out over a GIL-sharing
+            thread pool; ``"process"`` shards them across worker processes
+            (:mod:`repro.flow.shard`) whose baselines share power-map and
+            temperature-field arrays via ``multiprocessing.shared_memory``.
+            Both produce records bitwise-identical to a serial run.  The
+            process executor is incompatible with ``batch_solves`` and
+            ``flow`` (per-process artifact stores would defeat both).
     """
 
     def __init__(
@@ -360,11 +382,21 @@ class Campaign:
         name: str = "campaign",
         batch_solves: bool = False,
         flow: Optional[FlowGraph] = None,
+        result_store: Optional[ResultStore] = None,
+        executor: str = "thread",
     ) -> None:
         if isinstance(setups, ExperimentSetup):
             setups = {setups.workload.name: setups}
         if not setups:
             raise ValueError("campaign requires at least one setup")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        if executor == "process" and batch_solves:
+            raise ValueError("executor='process' is incompatible with batch_solves")
+        if executor == "process" and flow is not None:
+            raise ValueError("executor='process' is incompatible with flow")
         self.setups: Dict[str, ExperimentSetup] = dict(setups)
         self.strategies = tuple(resolve_strategy(spec).spec for spec in strategies)
         self.overheads = tuple(overheads)
@@ -375,6 +407,10 @@ class Campaign:
         self.cache = cache
         self.name = name
         self.batch_solves = batch_solves
+        self.result_store = result_store
+        self.executor = executor
+        self._stop_event = threading.Event()
+        self._workload_fingerprints: Dict[str, Tuple[str, str]] = {}
 
     @property
     def points(self) -> List[CampaignPoint]:
@@ -388,6 +424,55 @@ class Campaign:
 
     def __len__(self) -> int:
         return len(self.setups) * len(self.strategies) * len(self.overheads)
+
+    # -- result-store keys ---------------------------------------------------
+
+    def _workload_fingerprint(self, workload: str) -> Tuple[str, str]:
+        """``(setup digest, resolved solver method)`` of one workload.
+
+        Computed once per workload: the method is resolved on the baseline
+        grid, and every transformed grid of the same setup shares its node
+        count (same ``nx * ny * nz``), so the ``"auto"`` heuristic resolves
+        identically for all of the workload's points.
+        """
+        cached = self._workload_fingerprints.get(workload)
+        if cached is not None:
+            return cached
+        setup = self.setups[workload]
+        grid = grid_for_placement(
+            setup.placement, package=setup.package,
+            nx=setup.grid_nx, ny=setup.grid_ny,
+        )
+        fingerprint = (
+            setup_digest(setup),
+            resolve_thermal_method(self.cache.method, grid),
+        )
+        self._workload_fingerprints[workload] = fingerprint
+        return fingerprint
+
+    def result_key_for(self, point: CampaignPoint) -> str:
+        """The :class:`~repro.flow.store.ResultStore` key of one grid point.
+
+        Covers the point's baseline content, canonical strategy spec,
+        overhead, *resolved* solver backend, active engine and the timing
+        flag — everything that shapes its :class:`CampaignRecord`.
+        """
+        fingerprint, method = self._workload_fingerprint(point.workload)
+        return result_key(
+            fingerprint, point.strategy, point.overhead,
+            method=method, engine=get_engine(),
+            analyze_timing=self.analyze_timing,
+        )
+
+    def stop(self) -> None:
+        """Ask a running campaign to stop after the points already started.
+
+        Finished points keep their records (and are flushed to the result
+        store when one is attached); unstarted points are skipped and the
+        result's metadata gets ``interrupted: True``.  This is what the
+        SIGINT handler installed by :meth:`run` calls.
+        """
+        self._stop_event.set()
 
     # ------------------------------------------------------------------
 
@@ -442,6 +527,8 @@ class Campaign:
         maps: List = [None] * len(points)
         solve_time = [0.0] * len(points)
         for indices in groups.values():
+            if self._stop_event.is_set():
+                break
             start = time.perf_counter()
             first = prepared[indices[0]]
             solver = self.cache.solver(first.grid)
@@ -496,31 +583,113 @@ class Campaign:
         self, points: List[CampaignPoint], max_workers: int
     ) -> List[CampaignRecord]:
         """Three-phase execution: transform all points, solve by geometry
-        group, then extract outcomes."""
+        group, then extract outcomes.
+
+        Interruption-aware: a stop request skips the points not yet
+        prepared, breaks out between solve groups, and leaves ``None`` in
+        the slots of unfinished points (the caller drops them).
+        """
         total = len(points)
         transformed = _map_indexed(
-            lambda index, point: self._prepare(point), points, max_workers
-        )
-        prepared = [prep for prep, _elapsed in transformed]
-        prep_time = [elapsed for _prep, elapsed in transformed]
-
-        maps, solve_time = self._solve_groups(points, prepared)
-
-        return _map_indexed(
-            lambda index, point: self._finish(
-                index, total, point, prepared[index], maps[index],
-                prep_time[index] + solve_time[index],
+            lambda index, point: (
+                None if self._stop_event.is_set() else self._prepare(point)
             ),
             points,
             max_workers,
         )
+        live = [index for index, entry in enumerate(transformed) if entry is not None]
+        live_points = [points[index] for index in live]
+        prepared = [transformed[index][0] for index in live]
+        prep_time = [transformed[index][1] for index in live]
+
+        maps, solve_time = self._solve_groups(live_points, prepared)
+
+        finished = _map_indexed(
+            lambda pos, point: (
+                None
+                if maps[pos] is None or self._stop_event.is_set()
+                else self._finish(
+                    live[pos], total, point, prepared[pos], maps[pos],
+                    prep_time[pos] + solve_time[pos],
+                )
+            ),
+            live_points,
+            max_workers,
+        )
+        records: List[Optional[CampaignRecord]] = [None] * total
+        for pos, index in enumerate(live):
+            records[index] = finished[pos]
+        return records
+
+    def evaluate_points(
+        self, points: Sequence[CampaignPoint], max_workers: Optional[int] = None
+    ) -> List[CampaignRecord]:
+        """Evaluate an explicit point list (not the campaign's own grid).
+
+        This is the batching entry the ``repro serve`` daemon uses: it
+        collects points from *different client requests*, and — with
+        ``batch_solves`` — this method groups them by transformed die
+        geometry and solves each group as one warm-started multi-RHS
+        block, regardless of which request each point came from.  Points
+        must reference workloads present in ``setups``.
+
+        Returns:
+            One record per point, in the given order.
+        """
+        points = list(points)
+        for point in points:
+            if point.workload not in self.setups:
+                raise ValueError(f"unknown workload {point.workload!r}")
+        if max_workers is None:
+            max_workers = max(1, min(len(points) or 1, os.cpu_count() or 1))
+        self._num_solve_groups = 0
+        if self.batch_solves:
+            return self._run_batched(points, max_workers)
+        total = len(points)
+        return _map_indexed(
+            lambda index, point: self._evaluate(index, total, point),
+            points,
+            max_workers,
+        )
+
+    def _evaluate_pending(
+        self, index: int, total: int, point: CampaignPoint, key: Optional[str]
+    ) -> Optional[CampaignRecord]:
+        """Evaluate one not-yet-stored point (thread/serial executor).
+
+        Skips (returns ``None``) after a stop request.  With a result
+        store attached the evaluation goes through cross-process
+        single-flight, so two campaigns (or a campaign and the serve
+        daemon) racing on the same point compute it once between them.
+        """
+        if self._stop_event.is_set():
+            return None
+        if self.result_store is None or key is None:
+            return self._evaluate(index, total, point)
+        record, _computed = self.result_store.compute_if_missing(
+            key, lambda: self._evaluate(index, total, point)
+        )
+        return record
 
     def run(self, max_workers: Optional[int] = None) -> CampaignResult:
         """Execute every grid point and collect the records in grid order.
 
+        With a ``result_store`` the grid is swept against the store first:
+        stored points are reused verbatim and only the remainder executes,
+        publishing each new record as it completes — which is what makes
+        repeated sweeps incremental and interrupted sweeps resumable.
+
+        When called from the main thread, a SIGINT handler is installed
+        for the duration of the run: the first Ctrl-C stops scheduling new
+        points, lets in-flight ones finish and flush to the store, and
+        returns a partial result whose metadata carries
+        ``interrupted: True`` (no exception is raised).  A rerun with the
+        same store recomputes none of the finished points.
+
         Args:
-            max_workers: Worker threads; ``1`` forces serial execution and
-                ``None`` sizes the pool to the machine (one thread per CPU,
+            max_workers: Worker threads (or processes, with
+                ``executor="process"``); ``1`` forces serial execution and
+                ``None`` sizes the pool to the machine (one worker per CPU,
                 at most one per point).  Records are returned in grid order
                 either way, and — because the shared solver cache is keyed
                 on exact geometry — parallel runs produce bitwise-identical
@@ -542,22 +711,102 @@ class Campaign:
         )
 
         self._num_solve_groups = 0
-        if self.batch_solves:
-            records = self._run_batched(points, max_workers)
-        else:
-            records = _map_indexed(
-                lambda index, point: self._evaluate(index, total, point),
-                points,
-                max_workers,
+        self._stop_event.clear()
+
+        # Resume sweep: reuse every point the result store already holds.
+        stored: Dict[int, CampaignRecord] = {}
+        keys: Optional[List[str]] = None
+        if self.result_store is not None:
+            keys = [self.result_key_for(point) for point in points]
+            for index, key in enumerate(keys):
+                record = self.result_store.get(key)
+                if record is not None:
+                    stored[index] = record
+        pending = [index for index in range(total) if index not in stored]
+        pending_points = [points[index] for index in pending]
+        if stored:
+            logger.info(
+                "campaign %r: %d/%d points already in result store",
+                self.name, len(stored), total,
             )
+
+        previous_handler = None
+        if threading.current_thread() is threading.main_thread():
+
+            def _on_sigint(signum, frame):
+                logger.warning(
+                    "campaign %r: interrupt received - flushing finished "
+                    "points and stopping",
+                    self.name,
+                )
+                self.stop()
+
+            previous_handler = signal.signal(signal.SIGINT, _on_sigint)
+
+        try:
+            if self.executor == "process":
+                from .shard import run_sharded
+
+                computed = run_sharded(
+                    self,
+                    pending_points,
+                    keys=[keys[i] for i in pending] if keys is not None else None,
+                    max_workers=max_workers,
+                    stop_event=self._stop_event,
+                )
+            elif self.batch_solves:
+                computed = self._run_batched(pending_points, max_workers)
+            else:
+                computed = _map_indexed(
+                    lambda pos, point: self._evaluate_pending(
+                        pending[pos], total, point,
+                        keys[pending[pos]] if keys is not None else None,
+                    ),
+                    pending_points,
+                    max_workers,
+                )
+        finally:
+            if previous_handler is not None:
+                signal.signal(signal.SIGINT, previous_handler)
+
+        interrupted = self._stop_event.is_set()
+
+        records: List[Optional[CampaignRecord]] = [None] * total
+        for index, record in stored.items():
+            records[index] = record
+        num_evaluated = 0
+        publish = (
+            self.result_store is not None
+            and keys is not None
+            # The thread executor already published through
+            # compute_if_missing; batched and sharded paths publish here.
+            and (self.batch_solves or self.executor == "process")
+        )
+        for pos, record in enumerate(computed):
+            if record is None:
+                continue
+            index = pending[pos]
+            records[index] = record
+            num_evaluated += 1
+            if publish:
+                self.result_store.put(keys[index], record)
 
         elapsed = time.perf_counter() - start
         logger.info("campaign %r: finished in %.2fs", self.name, elapsed)
-        # A worker failure re-raises out of future.result() above, so every
-        # slot must be filled by now; a hole would mean a scheduling bug.
         missing = [points[i] for i, r in enumerate(records) if r is None]
-        if missing:
-            raise RuntimeError(f"campaign left {len(missing)} points unevaluated: {missing}")
+        if missing and not interrupted:
+            # A worker failure re-raises out of future.result() above, so
+            # every slot must be filled by now; a hole would mean a
+            # scheduling bug.
+            raise RuntimeError(
+                f"campaign left {len(missing)} points unevaluated: {missing}"
+            )
+        if interrupted:
+            logger.warning(
+                "campaign %r: interrupted - %d/%d points finished "
+                "(rerun with the same result store to resume)",
+                self.name, total - len(missing), total,
+            )
         metadata: Dict[str, object] = {
             "name": self.name,
             "workloads": list(self.setups),
@@ -570,7 +819,14 @@ class Campaign:
             "thermal_solver": self.cache.method,
             "batch_solves": self.batch_solves,
             "num_solve_groups": self._num_solve_groups,
+            "executor": self.executor,
+            "interrupted": interrupted,
         }
+        if self.result_store is not None:
+            metadata["result_store"] = self.result_store.stats().as_dict()
+            metadata["store_hits"] = len(stored)
+            metadata["num_evaluated"] = num_evaluated
         if self.flow is not None:
             metadata["flow_stages"] = self.flow.stats()
-        return CampaignResult(records=list(records), metadata=metadata)
+        final = [record for record in records if record is not None]
+        return CampaignResult(records=final, metadata=metadata)

@@ -1,0 +1,339 @@
+"""Process-sharded campaign execution over shared-memory baselines.
+
+The thread executor scales until the Python-level work between the
+GIL-releasing SciPy kernels saturates one interpreter; past that point the
+campaign needs real processes.  The naive way — pickling each point's
+:class:`~repro.flow.experiment.ExperimentSetup` into every worker — ships
+the full baseline (netlist, placement, power report, temperature fields)
+per task.  This module ships it once, and the bulky parts not at all:
+
+* The baseline's numeric payloads — the binned power map, the solved
+  temperature field, the warm-start rise vector, the per-cell power
+  vectors — are copied into ``multiprocessing.shared_memory`` segments.
+  Every worker maps the same physical pages read-only; nothing is pickled
+  per task and memory stays O(1) in the worker count.
+* The structural skeleton (netlist graph, placement rows, package stack)
+  is pickled exactly once per worker at startup, with the array slots
+  stripped; workers re-attach the shared segments into the empty slots.
+* A task is then five scalars: ``(slot, workload, strategy spec,
+  overhead, result key)``.
+
+Workers evaluate points with a private :class:`SolverCache` (factorised
+solvers hold SuperLU handles and cannot cross processes) and stream
+records back over a result queue; with a disk-rooted
+:class:`~repro.flow.store.ResultStore` attached each worker also publishes
+every record as it completes, so progress survives even a hard kill of
+the parent.  Evaluation is deterministic — identical inputs, identical
+NumPy/SciPy operations — so sharded records are bitwise-identical to the
+serial and threaded paths, which ``tests/test_shard.py`` asserts.
+
+Workers ignore SIGINT: a Ctrl-C is handled by the parent campaign's
+handler (stop dispatching, drain in-flight points, flush, return partial),
+never by tearing workers down mid-solve.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as queue_module
+import signal
+import threading
+import time
+import traceback
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine import get_engine, use_engine
+from .cache import SolverCache
+from .store import ResultStore
+
+#: ``(owner attribute, array attribute)`` slots of an ``ExperimentSetup``
+#: whose ndarray payloads travel via shared memory instead of the pickled
+#: skeleton.  Missing or non-array values (e.g. a dict-backed power report,
+#: a ``None`` warm-start vector) simply stay in the skeleton.
+_SHARED_SLOTS: Tuple[Tuple[str, str], ...] = (
+    ("power_map", "power_w"),
+    ("thermal_map", "temperatures"),
+    ("thermal_map", "grid_rises"),
+    ("thermal_map", "full_field"),
+    ("power", "_switching"),
+    ("power", "_internal"),
+    ("power", "_leakage"),
+    ("power", "_total"),
+)
+
+#: One stripped array slot: (owner attr, array attr, segment name, shape,
+#: dtype string).
+_SlotSpec = Tuple[str, str, str, Tuple[int, ...], str]
+
+
+def pack_setups(setups: Dict[str, object]):
+    """Strip the baselines' arrays into shared memory and pickle the rest.
+
+    Returns:
+        ``(segments, skeleton, specs)`` — the owned
+        :class:`~multiprocessing.shared_memory.SharedMemory` segments (the
+        caller must close and unlink them when the run ends), the pickled
+        array-free setups dict, and the per-workload slot specs workers
+        use to re-attach.  The live setups are restored before returning.
+    """
+    segments: List[shared_memory.SharedMemory] = []
+    specs: Dict[str, List[_SlotSpec]] = {}
+    saved: List[Tuple[object, str, object]] = []
+    try:
+        for workload, setup in setups.items():
+            entries: List[_SlotSpec] = []
+            for owner_attr, array_attr in _SHARED_SLOTS:
+                owner = getattr(setup, owner_attr)
+                value = getattr(owner, array_attr, None)
+                if not isinstance(value, np.ndarray) or value.size == 0:
+                    continue
+                array = np.ascontiguousarray(value)
+                segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+                segments.append(segment)
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                view[...] = array
+                entries.append(
+                    (owner_attr, array_attr, segment.name, array.shape, array.dtype.str)
+                )
+                saved.append((owner, array_attr, value))
+                setattr(owner, array_attr, None)
+            specs[workload] = entries
+        skeleton = pickle.dumps(setups, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:
+                pass
+        raise
+    finally:
+        for owner, array_attr, value in saved:
+            setattr(owner, array_attr, value)
+    return segments, skeleton, specs
+
+
+def attach_setups(skeleton: bytes, specs: Dict[str, List[_SlotSpec]]):
+    """Worker-side inverse of :func:`pack_setups`.
+
+    Returns:
+        ``(setups, segments)`` — the reconstructed setups dict, whose array
+        slots are read-only views over the parent's shared segments, and
+        the attached segments (closed by the worker when it exits).
+    """
+    setups = pickle.loads(skeleton)
+    segments: List[shared_memory.SharedMemory] = []
+    for workload, entries in specs.items():
+        setup = setups[workload]
+        for owner_attr, array_attr, name, shape, dtype in entries:
+            # Attaching re-registers the name with the (fork- or spawn-
+            # inherited, shared) resource tracker; that is idempotent, and
+            # the parent's unlink() removes it exactly once — so no
+            # explicit unregister here, which would double-remove.
+            segment = shared_memory.SharedMemory(name=name)
+            segments.append(segment)
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+            view.flags.writeable = False
+            setattr(getattr(setup, owner_attr), array_attr, view)
+    return setups, segments
+
+
+def _worker_main(skeleton, specs, config, task_queue, result_queue) -> None:
+    """One shard worker: attach baselines, evaluate tasks until sentinel."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        setups, segments = attach_setups(skeleton, specs)
+    except Exception:
+        result_queue.put(("fatal", None, traceback.format_exc()))
+        return
+    # Deferred so the module (and its workers) never import the runner at
+    # the top level — runner imports shard, not the other way round.
+    from .runner import CampaignPoint, CampaignRecord
+    from .experiment import evaluate_strategy
+
+    store: Optional[ResultStore] = config["store"]
+    cache = SolverCache(method=config["method"])
+    try:
+        with use_engine(config["engine"]):
+            while True:
+                task = task_queue.get()
+                if task is None:
+                    break
+                slot, workload, strategy, overhead, key = task
+                try:
+                    start = time.perf_counter()
+                    outcome = evaluate_strategy(
+                        setups[workload],
+                        strategy,
+                        overhead,
+                        analyze_timing=config["analyze_timing"],
+                        cache=cache,
+                    )
+                    record = CampaignRecord(
+                        point=CampaignPoint(
+                            workload=workload, strategy=strategy, overhead=overhead
+                        ),
+                        outcome=outcome,
+                        elapsed_s=time.perf_counter() - start,
+                    )
+                    if store is not None and store.root is not None and key is not None:
+                        # Publish from the worker too: completed points are
+                        # durable even if the parent is killed outright.
+                        store.put(key, record)
+                    result_queue.put(("ok", slot, record))
+                except Exception:
+                    result_queue.put(("error", slot, traceback.format_exc()))
+    finally:
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:
+                pass
+
+
+def run_sharded(
+    campaign,
+    points: Sequence,
+    keys: Optional[Sequence[Optional[str]]] = None,
+    max_workers: Optional[int] = None,
+    stop_event: Optional[threading.Event] = None,
+) -> List:
+    """Evaluate campaign points across worker processes.
+
+    The parent dispatches point tasks over a bounded window (so a stop
+    request takes effect within one window, not after the whole grid has
+    been queued) and collects records as workers finish them; slots whose
+    points were skipped after a stop request stay ``None``.
+
+    Args:
+        campaign: The owning :class:`~repro.flow.runner.Campaign` (supplies
+            setups, solver method, timing flag and result store).
+        points: The grid points to evaluate (typically the not-yet-stored
+            remainder of the grid).
+        keys: Optional per-point result-store keys, aligned with
+            ``points``; workers publish under these as they finish.
+        max_workers: Worker process count (default: one per CPU, at most
+            one per point).
+        stop_event: Graceful-stop flag shared with the campaign's SIGINT
+            handler.
+
+    Returns:
+        Records aligned with ``points`` (``None`` for skipped slots).
+
+    Raises:
+        RuntimeError: A worker raised while evaluating a point, failed to
+            start, or died unexpectedly.
+    """
+    total = len(points)
+    records: List = [None] * total
+    if total == 0:
+        return records
+    if stop_event is None:
+        stop_event = threading.Event()
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    max_workers = max(1, min(max_workers, total))
+
+    context = mp.get_context()
+    segments, skeleton, specs = pack_setups(campaign.setups)
+    task_queue = context.Queue()
+    result_queue = context.Queue()
+    config = {
+        "engine": get_engine(),
+        "method": campaign.cache.method,
+        "analyze_timing": campaign.analyze_timing,
+        "store": campaign.result_store,
+    }
+    workers = [
+        context.Process(
+            target=_worker_main,
+            args=(skeleton, specs, config, task_queue, result_queue),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+        for index in range(max_workers)
+    ]
+    error: Optional[RuntimeError] = None
+    try:
+        for worker in workers:
+            worker.start()
+
+        next_slot = 0
+        in_flight = 0
+        live = max_workers
+        window = 2 * max_workers
+        while True:
+            while (
+                next_slot < total
+                and in_flight < window
+                and error is None
+                and not stop_event.is_set()
+            ):
+                point = points[next_slot]
+                task_queue.put(
+                    (
+                        next_slot,
+                        point.workload,
+                        point.strategy,
+                        point.overhead,
+                        keys[next_slot] if keys is not None else None,
+                    )
+                )
+                next_slot += 1
+                in_flight += 1
+            if in_flight == 0:
+                break
+            try:
+                kind, slot, payload = result_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                if not any(worker.is_alive() for worker in workers):
+                    raise RuntimeError(
+                        f"all shard workers died with {in_flight} points in flight"
+                    ) from None
+                continue
+            if kind == "ok":
+                records[slot] = payload
+                in_flight -= 1
+            elif kind == "error":
+                in_flight -= 1
+                if error is None:
+                    error = RuntimeError(
+                        f"shard worker failed on point {points[slot]}:\n{payload}"
+                    )
+            else:  # fatal: a worker died before taking any task
+                live -= 1
+                if error is None:
+                    error = RuntimeError(f"shard worker failed to start:\n{payload}")
+                if live == 0 and in_flight > 0:
+                    raise error
+        if error is not None:
+            raise error
+    finally:
+        for _worker in workers:
+            try:
+                task_queue.put(None)
+            except (OSError, ValueError):
+                break
+        for worker in workers:
+            worker.join(timeout=10.0)
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=5.0)
+        task_queue.close()
+        result_queue.close()
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:
+                pass
+    return records
+
+
+__all__ = ["run_sharded", "pack_setups", "attach_setups"]

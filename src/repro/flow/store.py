@@ -1,0 +1,613 @@
+"""Persistent campaign-result store: resumable, shareable, single-flight.
+
+:class:`ResultStore` persists one :class:`~repro.flow.runner.CampaignRecord`
+per evaluated grid point, keyed by the content of everything the record
+depends on — the experiment baseline (netlist, placement, power, thermal
+map, package, grid resolution, timing reference), the canonical strategy
+spec, the requested overhead, the *resolved* thermal-solver backend, the
+active execution engine and whether timing was analysed.  Two consequences:
+
+* **Incremental sweeps** — a repeated campaign against the same store
+  recomputes nothing; a sweep extended with new strategies or overheads
+  computes only the new points.
+* **Free resume** — records are published as each point completes, so an
+  interrupted run (Ctrl-C, crash, OOM-kill) leaves every finished point on
+  disk and a rerun picks up exactly where it stopped.
+
+Entries use the same verified on-disk format as the artifact store
+(``magic + sha256(payload) + payload``, atomically published), so damaged
+or truncated entries are detected, evicted and recomputed — never
+deserialized blindly.  The store is safe to share between threads,
+sharded worker processes and the ``repro serve`` daemon simultaneously:
+writers racing on one key all publish the same content through atomic
+renames, and :meth:`ResultStore.compute_if_missing` adds *cross-process*
+single-flight via ``O_EXCL`` claim files, so exactly one process computes
+a missing point while the others wait and then hit.
+
+The module also houses the disk-usage helpers behind ``repro cache``:
+:func:`scan_store` and :func:`prune_store` operate uniformly on artifact
+stores and result stores (both lay entries out as ``<root>/<shard>/<key>``
+files).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from .artifacts import (
+    FLOW_KEY_VERSION,
+    BlobIntegrityError,
+    hash_parts,
+    netlist_digest,
+    package_digest,
+    placement_digest,
+    power_digest,
+    read_blob,
+    thermal_map_digest,
+    write_blob,
+)
+
+#: Filename suffix of result entries (artifact stores use ``.art``).
+RESULT_SUFFIX = ".res"
+
+#: A single-flight claim older than this is considered abandoned (its
+#: owner crashed without unlinking) and is broken by the next writer.
+STALE_CLAIM_S = 600.0
+
+
+# ---------------------------------------------------------------------------
+# Keys
+# ---------------------------------------------------------------------------
+
+
+def setup_digest(setup) -> str:
+    """Content digest of everything an evaluation reads from its baseline.
+
+    Covers the placed design (structure + coordinates), the per-cell power
+    report, the baseline thermal map (both the outcome's reduction
+    reference and the warm-start field), the package stack, the grid
+    resolution, the baseline utilization and the timing reference the
+    overhead is measured against.  Anything that could change a
+    :class:`~repro.flow.experiment.StrategyOutcome` changes this digest.
+    """
+    return hash_parts(
+        "setup",
+        netlist_digest(setup.placement.netlist),
+        placement_digest(setup.placement),
+        power_digest(setup.power),
+        thermal_map_digest(setup.thermal_map),
+        package_digest(setup.package),
+        setup.grid_nx,
+        setup.grid_ny,
+        setup.base_utilization,
+        setup.timing.clock_period_ps,
+        setup.timing.critical_path_ps,
+    )
+
+
+def result_key(
+    setup_fingerprint: str,
+    strategy_spec: str,
+    overhead: float,
+    method: str,
+    engine: str,
+    analyze_timing: bool,
+) -> str:
+    """The store key of one campaign point.
+
+    Args:
+        setup_fingerprint: :func:`setup_digest` of the experiment baseline.
+        strategy_spec: *Canonical* strategy spec string (``"eri"``,
+            ``"hw:ring_um=8.0"``) — canonicalise with
+            :func:`~repro.core.resolve_strategy` first so spelling variants
+            share an entry.
+        overhead: Requested area-overhead fraction (hashed as raw IEEE-754
+            bits, so hash-equal means bitwise-equal).
+        method: *Resolved* thermal-solver backend (``"lu"`` or
+            ``"multigrid"``, never ``"auto"``) — the two backends agree to
+            tolerance, not bitwise, so they must not share records.
+        engine: Active execution engine (``"compiled"``/``"reference"``).
+        analyze_timing: Whether the record carries a timing overhead.
+    """
+    return hash_parts(
+        FLOW_KEY_VERSION, "result",
+        setup_fingerprint, strategy_spec, overhead, method, engine,
+        analyze_timing,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResultStoreStats:
+    """Result-store counters at one point in time.
+
+    Attributes:
+        hits: Lookups answered from the store (memory or disk).
+        misses: Lookups that found nothing usable.
+        disk_hits: Subset of ``hits`` read (and verified) from disk.
+        writes: Records published.
+        corrupt_evictions: Disk entries evicted as damaged.
+        single_flight_waits: ``compute_if_missing`` calls that waited on
+            another process's computation instead of computing.
+        memory_size: Records currently held in memory.
+    """
+
+    hits: int
+    misses: int
+    disk_hits: int
+    writes: int
+    corrupt_evictions: int
+    single_flight_waits: int
+    memory_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for JSON metadata."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "writes": self.writes,
+            "corrupt_evictions": self.corrupt_evictions,
+            "single_flight_waits": self.single_flight_waits,
+            "memory_size": self.memory_size,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultStore:
+    """Persistent, shareable store of evaluated campaign records.
+
+    Layout: ``<root>/<key[:2]>/<key>.res`` — the two-character shard keeps
+    directories small for million-record stores.  With ``root=None`` the
+    store is memory-only (still single-flight across threads), which is
+    what short-lived in-process campaigns use.
+
+    Instances pickle by configuration (root + bound), not contents: a
+    sharded worker process that receives one attaches to the same on-disk
+    tier with fresh counters, which is exactly how workers publish
+    completed records the parent (and any concurrent reader) then sees.
+
+    Args:
+        root: Directory of the on-disk tier, created on first write.
+        maxsize: In-memory LRU bound (``None`` = unbounded).
+    """
+
+    def __init__(
+        self, root: Optional[Union[str, Path]] = None, maxsize: Optional[int] = None
+    ) -> None:
+        if maxsize is not None and maxsize < 0:
+            raise ValueError("maxsize must be None or >= 0")
+        self.root = Path(root) if root is not None else None
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[str, object]" = OrderedDict()
+        self._inflight: Dict[str, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+        self._disk_hits = 0
+        self._writes = 0
+        self._corrupt_evictions = 0
+        self._single_flight_waits = 0
+
+    # -- pickling (for sharded workers) --------------------------------------
+
+    def __getstate__(self):
+        return {"root": self.root, "maxsize": self.maxsize}
+
+    def __setstate__(self, state):
+        self.__init__(root=state["root"], maxsize=state["maxsize"])
+
+    # -- paths ---------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / key[:2] / f"{key}{RESULT_SUFFIX}"
+
+    def _claim_path(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / key[:2] / f"{key}.lock"
+
+    # -- lookup / publish ----------------------------------------------------
+
+    def get(self, key: str):
+        """The stored record for ``key``, or ``None`` on a miss."""
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._memory.move_to_end(key)
+                return cached
+        if self.root is not None:
+            record = self._read_disk(key)
+            if record is not None:
+                with self._lock:
+                    self._hits += 1
+                    self._disk_hits += 1
+                    self._insert_memory(key, record)
+                return record
+        with self._lock:
+            self._misses += 1
+        return None
+
+    def put(self, key: str, record) -> None:
+        """Publish a record (memory, and disk when configured).
+
+        Concurrent writers of the same key are safe: both publish the same
+        content through an atomic rename, so readers see one intact entry.
+        """
+        with self._lock:
+            self._writes += 1
+            self._insert_memory(key, record)
+        if self.root is not None:
+            write_blob(self._path(key), record)
+
+    def _insert_memory(self, key: str, record) -> None:
+        if self.maxsize == 0:
+            return
+        self._memory[key] = record
+        self._memory.move_to_end(key)
+        while self.maxsize is not None and len(self._memory) > self.maxsize:
+            self._memory.popitem(last=False)
+
+    def _read_disk(self, key: str):
+        path = self._path(key)
+        try:
+            return read_blob(path)
+        except OSError:
+            return None
+        except BlobIntegrityError:
+            with self._lock:
+                self._corrupt_evictions += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    # -- single-flight -------------------------------------------------------
+
+    def compute_if_missing(
+        self,
+        key: str,
+        compute: Callable[[], object],
+        poll_s: float = 0.02,
+        wait_timeout_s: float = 300.0,
+    ) -> Tuple[object, bool]:
+        """Return the record for ``key``, computing it at most once globally.
+
+        Single-flight spans both threads (a per-key in-process lock) and
+        processes (an ``O_CREAT | O_EXCL`` claim file next to the entry):
+        the first caller to claim computes and publishes; everyone else
+        polls until the entry appears and hits.  A claim left behind by a
+        crashed owner goes stale after :data:`STALE_CLAIM_S` and is broken.
+
+        Args:
+            key: The result key.
+            compute: Zero-argument callable producing the record.
+            poll_s: Wait-side polling interval.
+            wait_timeout_s: After this long waiting on another computer,
+                give up and compute locally anyway (the claim holder may be
+                livelocked); correctness is unaffected since both publish
+                identical content.
+
+        Returns:
+            ``(record, computed)`` where ``computed`` says whether *this*
+            call ran ``compute``.
+        """
+        record = self.get(key)
+        if record is not None:
+            return record, False
+
+        with self._lock:
+            thread_gate = self._inflight.setdefault(key, threading.Lock())
+        try:
+            with thread_gate:
+                record = self.get(key)
+                if record is not None:
+                    return record, False
+                if self.root is None:
+                    record = compute()
+                    self.put(key, record)
+                    return record, True
+                return self._compute_cross_process(
+                    key, compute, poll_s, wait_timeout_s
+                )
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    def _compute_cross_process(
+        self,
+        key: str,
+        compute: Callable[[], object],
+        poll_s: float,
+        wait_timeout_s: float,
+    ) -> Tuple[object, bool]:
+        claim = self._claim_path(key)
+        claim.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + wait_timeout_s
+        waited = False
+        while True:
+            try:
+                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                # Someone else is computing: wait for their publication.
+                waited = True
+                record = self._read_disk(key)
+                if record is not None:
+                    with self._lock:
+                        self._hits += 1
+                        self._disk_hits += 1
+                        self._single_flight_waits += 1
+                        self._insert_memory(key, record)
+                    return record, False
+                try:
+                    age = time.time() - claim.stat().st_mtime
+                except OSError:
+                    continue  # claim released between open and stat: retry
+                if age > STALE_CLAIM_S:
+                    try:
+                        claim.unlink()
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() > deadline:
+                    break  # claim holder livelocked: compute locally
+                time.sleep(poll_s)
+                continue
+            # Claimed: we are the one computer for this key.
+            os.close(fd)
+            try:
+                record = self._read_disk(key)
+                if record is not None:
+                    with self._lock:
+                        self._hits += 1
+                        self._disk_hits += 1
+                        if waited:
+                            self._single_flight_waits += 1
+                        self._insert_memory(key, record)
+                    return record, False
+                record = compute()
+                self.put(key, record)
+                return record, True
+            finally:
+                try:
+                    claim.unlink()
+                except OSError:
+                    pass
+        record = compute()
+        self.put(key, record)
+        return record, True
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def stats(self) -> ResultStoreStats:
+        """Snapshot of the store counters."""
+        with self._lock:
+            return ResultStoreStats(
+                hits=self._hits,
+                misses=self._misses,
+                disk_hits=self._disk_hits,
+                writes=self._writes,
+                corrupt_evictions=self._corrupt_evictions,
+                single_flight_waits=self._single_flight_waits,
+                memory_size=len(self._memory),
+            )
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (disk entries and counters are kept)."""
+        with self._lock:
+            self._memory.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+
+# ---------------------------------------------------------------------------
+# Disk usage & pruning (``repro cache``)
+# ---------------------------------------------------------------------------
+
+#: Entry suffixes the scanner recognises, with human labels.
+_ENTRY_SUFFIXES = (".art", RESULT_SUFFIX)
+
+
+@dataclass
+class StoreUsage:
+    """Disk usage of one on-disk store.
+
+    Attributes:
+        root: The scanned directory.
+        entries: Number of valid-looking entry files.
+        total_bytes: Their cumulative size.
+        by_group: ``group -> (entries, bytes)``; the group is the
+            artifact-store stage directory (``synth``, ``thermal``, ...)
+            or ``"results"`` for result-store shards.
+        stray_files: Leftover ``.tmp.*`` / ``.lock`` files found (these are
+            cleaned by :func:`prune_store`).
+    """
+
+    root: Path
+    entries: int = 0
+    total_bytes: int = 0
+    by_group: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    stray_files: int = 0
+
+
+@dataclass
+class PruneReport:
+    """What one :func:`prune_store` pass removed.
+
+    Attributes:
+        removed: Entry files deleted.
+        freed_bytes: Bytes reclaimed (entries only).
+        kept: Entry files remaining.
+        strays_removed: Stale ``.tmp.*`` / ``.lock`` files deleted.
+    """
+
+    removed: int = 0
+    freed_bytes: int = 0
+    kept: int = 0
+    strays_removed: int = 0
+
+
+def _store_group(root: Path, path: Path) -> str:
+    """Display group of one entry: stage directory or ``results``."""
+    parent = path.parent
+    if parent == root:
+        return "results" if path.suffix == RESULT_SUFFIX else parent.name
+    name = parent.name
+    # Result-store shards are two-hex-character directories.
+    if path.suffix == RESULT_SUFFIX and len(name) == 2:
+        return "results"
+    return name
+
+
+def _iter_entries(root: Path):
+    """Yield ``(path, stat)`` for every entry file under ``root``."""
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        if path.suffix in _ENTRY_SUFFIXES:
+            try:
+                yield path, path.stat()
+            except OSError:
+                continue
+
+
+def _iter_strays(root: Path):
+    """Yield leftover temp/claim files (crashed writers leave these)."""
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        if path.suffix == ".lock" or ".tmp." in path.name:
+            yield path
+
+
+def scan_store(root: Union[str, Path]) -> StoreUsage:
+    """Measure the disk usage of an artifact or result store."""
+    root = Path(root)
+    usage = StoreUsage(root=root)
+    if not root.exists():
+        return usage
+    for path, stat in _iter_entries(root):
+        usage.entries += 1
+        usage.total_bytes += stat.st_size
+        group = _store_group(root, path)
+        count, size = usage.by_group.get(group, (0, 0))
+        usage.by_group[group] = (count + 1, size + stat.st_size)
+    usage.stray_files = sum(1 for _ in _iter_strays(root))
+    return usage
+
+
+def prune_store(
+    root: Union[str, Path],
+    max_age_days: Optional[float] = None,
+    max_size_mb: Optional[float] = None,
+    now: Optional[float] = None,
+    dry_run: bool = False,
+) -> PruneReport:
+    """Prune an on-disk store by age and/or total size.
+
+    Entries older than ``max_age_days`` are removed first; if the store is
+    still larger than ``max_size_mb``, the oldest remaining entries (by
+    mtime) go next until it fits.  Stale ``.tmp.*`` and ``.lock`` files
+    older than :data:`STALE_CLAIM_S` are always cleaned up.  Pruning is
+    safe against live stores: a concurrently re-inserted entry simply
+    reappears on the next run's write.
+
+    Args:
+        root: Store directory.
+        max_age_days: Remove entries older than this many days.
+        max_size_mb: Shrink the store below this size (megabytes).
+        now: Reference time (``time.time()`` when omitted; injectable for
+            tests).
+        dry_run: Report what would be removed without deleting anything.
+    """
+    root = Path(root)
+    report = PruneReport()
+    if not root.exists():
+        return report
+    reference = time.time() if now is None else now
+
+    entries: List[Tuple[Path, float, int]] = [
+        (path, stat.st_mtime, stat.st_size) for path, stat in _iter_entries(root)
+    ]
+    entries.sort(key=lambda item: item[1])  # oldest first
+
+    doomed: List[Tuple[Path, int]] = []
+    survivors: List[Tuple[Path, float, int]] = []
+    if max_age_days is not None:
+        cutoff = reference - max_age_days * 86400.0
+        for path, mtime, size in entries:
+            if mtime < cutoff:
+                doomed.append((path, size))
+            else:
+                survivors.append((path, mtime, size))
+    else:
+        survivors = entries
+
+    if max_size_mb is not None:
+        budget = max_size_mb * 1024.0 * 1024.0
+        total = sum(size for _path, _mtime, size in survivors)
+        index = 0
+        while total > budget and index < len(survivors):
+            path, _mtime, size = survivors[index]
+            doomed.append((path, size))
+            total -= size
+            index += 1
+        survivors = survivors[index:]
+
+    for path, size in doomed:
+        if not dry_run:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+        report.removed += 1
+        report.freed_bytes += size
+    report.kept = len(survivors)
+
+    for path in _iter_strays(root):
+        try:
+            if reference - path.stat().st_mtime <= STALE_CLAIM_S:
+                continue
+        except OSError:
+            continue
+        if not dry_run:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+        report.strays_removed += 1
+    return report
+
+
+__all__ = [
+    "ResultStore",
+    "ResultStoreStats",
+    "setup_digest",
+    "result_key",
+    "scan_store",
+    "prune_store",
+    "StoreUsage",
+    "PruneReport",
+    "RESULT_SUFFIX",
+    "STALE_CLAIM_S",
+]

@@ -1,0 +1,17 @@
+"""Campaign service: the long-running ``repro serve`` daemon and its client.
+
+The service tier turns the campaign runner into a shared resource: one
+:class:`SweepServer` holds the prepared experiment baselines, the solver
+cache and the persistent result store, and many concurrent clients submit
+small sweep requests over a newline-delimited JSON socket protocol
+(:class:`SweepClient`).  The daemon answers stored points straight from
+the result store, deduplicates identical in-flight points *across
+requests*, and funnels the remaining misses through a gather window into
+cross-request, geometry-grouped multi-RHS batches — many small requests
+amortized into a few big warm-started solves.
+"""
+
+from .client import ServiceError, SweepClient, request_once
+from .server import SweepServer
+
+__all__ = ["SweepServer", "SweepClient", "ServiceError", "request_once"]

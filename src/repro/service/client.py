@@ -1,0 +1,129 @@
+"""Client for the ``repro serve`` daemon (stdlib socket + JSON).
+
+:class:`SweepClient` speaks the newline-delimited JSON protocol of
+:class:`~repro.service.server.SweepServer`: one request object per line,
+one response per line.  Sweep responses come back as
+:class:`~repro.flow.runner.CampaignResult` objects, so downstream analysis
+code cannot tell a served sweep from a local one.  JSON is lossless here —
+Python serialises floats with shortest-round-trip ``repr`` — so records
+fetched over the wire are bitwise equal to the server's.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..flow.runner import CampaignRecord, CampaignResult
+
+
+class ServiceError(RuntimeError):
+    """The server answered a request with an error."""
+
+
+def request_once(
+    host: str, port: int, payload: Dict[str, object], timeout: float = 600.0
+) -> Dict[str, object]:
+    """Send one request object and return the parsed response.
+
+    Opens a fresh connection per call; :class:`SweepClient` wraps this
+    with response checking and record decoding.
+
+    Raises:
+        ConnectionError: The server closed without responding.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(json.dumps(payload).encode() + b"\n")
+        chunks: List[bytes] = []
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    raw = b"".join(chunks)
+    if not raw:
+        raise ConnectionError("server closed the connection without a response")
+    return json.loads(raw)
+
+
+class SweepClient:
+    """Submit sweep requests to a running :class:`SweepServer`.
+
+    Args:
+        host: Server host.
+        port: Server port.
+        timeout: Socket timeout per request (sweeps block until the
+            server has solved every requested point).
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7410, timeout: float = 600.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        response = request_once(self.host, self.port, payload, timeout=self.timeout)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown server error"))
+        return response
+
+    def ping(self) -> Dict[str, object]:
+        """Protocol identifier and served workloads of the daemon."""
+        return self._request({"op": "ping"})
+
+    def stats(self) -> Dict[str, object]:
+        """Lifetime server counters (store, batching, solver cache)."""
+        return self._request({"op": "stats"})["stats"]
+
+    def shutdown_server(self) -> None:
+        """Ask the daemon to stop (it acknowledges, then exits)."""
+        self._request({"op": "shutdown"})
+
+    def sweep(
+        self,
+        workload: str,
+        strategies: Sequence[str],
+        overheads: Sequence[float],
+        analyze_timing: bool = False,
+    ) -> Tuple[CampaignResult, Dict[str, object]]:
+        """Sweep a (strategies x overheads) grid on one served workload.
+
+        Returns:
+            ``(result, stats)`` — the records in grid order wrapped as a
+            :class:`CampaignResult`, and the request's service stats
+            (``store_hits``, ``inflight_joins``, ``computed``, plus the
+            server's lifetime counters under ``"server"``).
+
+        Raises:
+            ServiceError: Unknown workload, bad spec, or a server-side
+                evaluation failure.
+        """
+        response = self._request(
+            {
+                "op": "sweep",
+                "workload": workload,
+                "strategies": list(strategies),
+                "overheads": [float(value) for value in overheads],
+                "analyze_timing": analyze_timing,
+            }
+        )
+        records = [CampaignRecord.from_dict(row) for row in response["records"]]
+        stats: Dict[str, object] = dict(response.get("stats", {}))
+        metadata = {
+            "name": "served-sweep",
+            "workloads": [workload],
+            "strategies": list(strategies),
+            "overheads": [float(value) for value in overheads],
+            "analyze_timing": analyze_timing,
+            "num_points": len(records),
+            "service": stats,
+        }
+        return CampaignResult(records=records, metadata=metadata), stats
+
+
+__all__ = ["SweepClient", "ServiceError", "request_once"]

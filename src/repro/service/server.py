@@ -1,0 +1,381 @@
+"""The ``repro serve`` daemon: a batching, deduplicating sweep service.
+
+One :class:`SweepServer` owns the expensive state — prepared experiment
+baselines, the factorised-solver cache, the persistent result store — and
+serves sweep requests from many concurrent clients over TCP.  Each request
+names a workload and a (strategies x overheads) grid; the daemon resolves
+every point against three tiers, cheapest first:
+
+1. **Result store** — points evaluated by any earlier request, campaign or
+   server lifetime are answered immediately from the store.
+2. **In-flight dedupe** — a point another request is already computing is
+   joined, not recomputed: both requests receive the one record.
+3. **Cross-request batching** — remaining misses from *all* concurrent
+   requests are gathered for a short window, grouped by transformed die
+   geometry, and solved as warm-started multi-RHS blocks
+   (:meth:`~repro.thermal.solver.ThermalSolver.solve_many`).  The
+   "millions of users" story: many small requests amortized into a few
+   big batched solves, with ``num_solve_groups`` < total points.
+
+Records are computed by the same :class:`~repro.flow.runner.Campaign`
+machinery clients would run locally, so server-side results are
+bitwise-identical to an in-process sweep (on the LU backend; multigrid
+batches agree to ~1e-12, exactly as ``Campaign(batch_solves=True)``).
+
+The wire protocol is newline-delimited JSON over a plain socket — one
+request object per line, one response object per line, stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import queue
+import socketserver
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core import resolve_strategy
+from ..flow.cache import SolverCache
+from ..flow.experiment import ExperimentSetup
+from ..flow.runner import Campaign, CampaignPoint, CampaignRecord
+from ..flow.store import ResultStore
+
+logger = logging.getLogger(__name__)
+
+#: Protocol identifier echoed by ``ping`` so clients can verify what they
+#: reached before submitting work.
+PROTOCOL = "repro-sweep/1"
+
+
+class _Task:
+    """One point a request is waiting on, with its fan-out future."""
+
+    __slots__ = ("key", "point", "analyze_timing", "future")
+
+    def __init__(self, key: str, point: CampaignPoint, analyze_timing: bool) -> None:
+        self.key = key
+        self.point = point
+        self.analyze_timing = analyze_timing
+        self.future: "Future[CampaignRecord]" = Future()
+
+
+class SweepServer:
+    """Long-running sweep daemon over prepared experiment baselines.
+
+    Args:
+        setups: Prepared baselines, keyed by workload name — the workloads
+            clients may sweep.  Preparing them is the server operator's
+            startup cost; requests only ever pay for strategy evaluation.
+        result_store: Persistent record store; a memory-only
+            :class:`ResultStore` when omitted.  Give it an on-disk root to
+            share results with offline campaigns and across restarts.
+        cache: Factorised-solver cache shared by every request; fresh
+            when omitted.
+        host: Bind address (default loopback).
+        port: Bind port; ``0`` (default) picks a free one — read
+            :attr:`address` after construction.
+        batch_window_s: How long the scheduler gathers points across
+            requests before solving a batch.  Larger windows find more
+            cross-request geometry sharing; smaller windows cut latency.
+        max_batch: Upper bound on points per gathered batch.
+        max_workers: Worker threads per batch evaluation (default: CPUs).
+        request_timeout_s: How long a request handler waits for its
+            points before failing the request.
+    """
+
+    def __init__(
+        self,
+        setups: Mapping[str, ExperimentSetup],
+        result_store: Optional[ResultStore] = None,
+        cache: Optional[SolverCache] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_window_s: float = 0.05,
+        max_batch: int = 256,
+        max_workers: Optional[int] = None,
+        request_timeout_s: float = 600.0,
+    ) -> None:
+        if not setups:
+            raise ValueError("server requires at least one prepared setup")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        self.setups: Dict[str, ExperimentSetup] = dict(setups)
+        self.store = result_store if result_store is not None else ResultStore()
+        self.cache = cache if cache is not None else SolverCache()
+        self.batch_window_s = batch_window_s
+        self.max_batch = max_batch
+        self.max_workers = max_workers
+        self.request_timeout_s = request_timeout_s
+
+        # One batching campaign per analyze_timing flavour; both share the
+        # server's setups and solver cache, so geometry reuse spans them.
+        self._campaigns: Dict[bool, Campaign] = {}
+        self._pending: Dict[str, _Task] = {}
+        self._queue: "queue.Queue[_Task]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._counters = {
+            "requests": 0,
+            "points_requested": 0,
+            "store_hits": 0,
+            "inflight_joins": 0,
+            "points_solved": 0,
+            "num_solve_groups": 0,
+            "batches": 0,
+        }
+
+        server = self
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:  # one JSON line per request
+                while True:
+                    line = self.rfile.readline()
+                    if not line:
+                        return
+                    response = server._dispatch(line)
+                    self.wfile.write(
+                        json.dumps(response, sort_keys=False).encode() + b"\n"
+                    )
+                    self.wfile.flush()
+                    if response.get("closing"):
+                        return
+
+        class _TCPServer(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="repro-serve-batcher", daemon=True
+        )
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` the server is bound to."""
+        return self._tcp.server_address[:2]
+
+    def start(self) -> None:
+        """Serve in background threads (for tests and embedding)."""
+        self._scheduler.start()
+        self._serve_thread = threading.Thread(
+            target=self._tcp.serve_forever, name="repro-serve-accept", daemon=True
+        )
+        self._serve_thread.start()
+        logger.info("repro serve listening on %s:%d", *self.address)
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (CLI mode)."""
+        self._scheduler.start()
+        logger.info("repro serve listening on %s:%d", *self.address)
+        self._tcp.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting, fail outstanding points, release the socket."""
+        self._stop.set()
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        if self._scheduler.is_alive():
+            self._scheduler.join(timeout=5.0)
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for task in pending:
+            if not task.future.done():
+                task.future.set_exception(RuntimeError("server shut down"))
+
+    def __enter__(self) -> "SweepServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- request dispatch ----------------------------------------------------
+
+    def _dispatch(self, line: bytes) -> Dict[str, object]:
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as error:
+            return {"ok": False, "error": f"bad request: {error}"}
+        op = payload.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "protocol": PROTOCOL,
+                        "workloads": sorted(self.setups)}
+            if op == "stats":
+                return {"ok": True, "stats": self.stats()}
+            if op == "sweep":
+                return self._handle_sweep(payload)
+            if op == "shutdown":
+                # Deferred: respond first, then stop the accept loop from a
+                # thread that is not inside it.
+                threading.Thread(target=self.shutdown, daemon=True).start()
+                return {"ok": True, "closing": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as error:  # a request must never kill the daemon
+            logger.exception("request %r failed", op)
+            return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+
+    def _campaign(self, analyze_timing: bool) -> Campaign:
+        with self._lock:
+            campaign = self._campaigns.get(analyze_timing)
+            if campaign is None:
+                campaign = Campaign(
+                    self.setups,
+                    analyze_timing=analyze_timing,
+                    cache=self.cache,
+                    name=f"serve-batch{'-timing' if analyze_timing else ''}",
+                    batch_solves=True,
+                )
+                self._campaigns[analyze_timing] = campaign
+            return campaign
+
+    def _handle_sweep(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        workload = payload.get("workload")
+        if workload not in self.setups:
+            return {
+                "ok": False,
+                "error": f"unknown workload {workload!r}; "
+                         f"serving {sorted(self.setups)}",
+            }
+        try:
+            strategies = [
+                resolve_strategy(spec).spec for spec in payload["strategies"]
+            ]
+            overheads = [float(value) for value in payload["overheads"]]
+        except (KeyError, TypeError, ValueError) as error:
+            return {"ok": False, "error": f"bad sweep spec: {error}"}
+        if not strategies or not overheads:
+            return {"ok": False, "error": "sweep needs strategies and overheads"}
+        analyze_timing = bool(payload.get("analyze_timing", False))
+
+        campaign = self._campaign(analyze_timing)
+        points = [
+            CampaignPoint(workload=workload, strategy=strategy, overhead=overhead)
+            for strategy in strategies
+            for overhead in overheads
+        ]
+        store_hits = 0
+        joins = 0
+        slots: List[Tuple[Optional[CampaignRecord], Optional[_Task]]] = []
+        for point in points:
+            key = campaign.result_key_for(point)
+            record = self.store.get(key)
+            if record is not None:
+                store_hits += 1
+                slots.append((record, None))
+                continue
+            with self._lock:
+                task = self._pending.get(key)
+                if task is not None and task.analyze_timing == analyze_timing:
+                    joins += 1
+                    slots.append((None, task))
+                    continue
+                task = _Task(key, point, analyze_timing)
+                self._pending[key] = task
+            self._queue.put(task)
+            slots.append((None, task))
+
+        deadline = time.monotonic() + self.request_timeout_s
+        records: List[CampaignRecord] = []
+        for record, task in slots:
+            if record is None:
+                remaining = max(0.0, deadline - time.monotonic())
+                record = task.future.result(timeout=remaining)
+            records.append(record)
+
+        with self._lock:
+            self._counters["requests"] += 1
+            self._counters["points_requested"] += len(points)
+            self._counters["store_hits"] += store_hits
+            self._counters["inflight_joins"] += joins
+        return {
+            "ok": True,
+            "records": [record.to_dict() for record in records],
+            "stats": {
+                "num_points": len(points),
+                "store_hits": store_hits,
+                "inflight_joins": joins,
+                "computed": len(points) - store_hits - joins,
+                "server": self.stats(),
+            },
+        }
+
+    # -- batching scheduler --------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self.batch_window_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(self._queue.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: List[_Task]) -> None:
+        """Solve one gathered batch, grouped by timing flavour then geometry."""
+        by_flag: Dict[bool, "OrderedDict[str, _Task]"] = {}
+        for task in batch:
+            by_flag.setdefault(task.analyze_timing, OrderedDict())[task.key] = task
+        for analyze_timing, tasks in by_flag.items():
+            campaign = self._campaign(analyze_timing)
+            points = [task.point for task in tasks.values()]
+            try:
+                records = campaign.evaluate_points(
+                    points, max_workers=self.max_workers
+                )
+            except Exception as error:
+                logger.exception("batch of %d points failed", len(points))
+                with self._lock:
+                    for key in tasks:
+                        self._pending.pop(key, None)
+                for task in tasks.values():
+                    if not task.future.done():
+                        task.future.set_exception(error)
+                continue
+            groups = getattr(campaign, "_num_solve_groups", len(points))
+            with self._lock:
+                self._counters["points_solved"] += len(points)
+                self._counters["num_solve_groups"] += groups
+                self._counters["batches"] += 1
+            logger.info(
+                "batch: %d point(s) -> %d solve group(s)", len(points), groups
+            )
+            for (key, task), record in zip(tasks.items(), records):
+                self.store.put(key, record)
+                with self._lock:
+                    self._pending.pop(key, None)
+                task.future.set_result(record)
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Lifetime service counters plus store and solver-cache stats."""
+        with self._lock:
+            counters = dict(self._counters)
+        counters["result_store"] = self.store.stats().as_dict()
+        counters["solver_cache"] = self.cache.stats().as_dict()
+        return counters
+
+
+__all__ = ["SweepServer", "PROTOCOL"]

@@ -264,6 +264,14 @@ class ThermalSolver:
         triangular solve.  This is what :class:`~repro.flow.runner.Campaign`
         uses to solve all records sharing a die geometry as one block.
 
+        The package-node rank-1 correction is applied lane by lane with
+        exactly the 1-D operations of :meth:`solve` (SuperLU's batched
+        triangular solve is already per-column exact), so an LU lane is
+        *bitwise* identical to a sequential :meth:`solve` of the same
+        power map — regardless of which other lanes share the batch.  The
+        campaign service relies on this: cross-request batches regroup
+        points arbitrarily without perturbing any record.
+
         Args:
             power_maps: Power maps (or bare ``(ny, nx)`` arrays) to solve.
             x0: Optional warm start — either one rise vector of length
@@ -285,23 +293,23 @@ class ThermalSolver:
             self.network.fill_grid_rhs(power, rhs[:, lane])
         base = self._solve_grid(rhs, x0=x0)
 
-        if self._package_solve is None:
-            grid_temps = base
-            package_temps = [None] * k
-        else:
-            coupling = self.network.package_coupling
-            correction = (coupling @ base) / self._package_denominator
-            grid_temps = base + self._package_solve[:, None] * correction[None, :]
-            package_temps = list((coupling @ grid_temps) / self.network.package_diagonal)
-
         maps: List[ThermalMap] = []
         for lane in range(k):
-            if self.network.package_node is None:
-                solution = grid_temps[:, lane]
+            lane_base = np.ascontiguousarray(base[:, lane]) if base.ndim == 2 else base
+            if self._package_solve is None:
+                solution = lane_base
             else:
-                solution = np.concatenate(
-                    [grid_temps[:, lane], [package_temps[lane]]]
-                )
+                # Per-lane 1-D correction, operation-for-operation the same
+                # as :meth:`solve`: this keeps every LU lane bitwise equal
+                # to a sequential solve (a lane-batched dgemv would round
+                # the dot products differently).
+                coupling = self.network.package_coupling
+                correction = (coupling @ lane_base) / self._package_denominator
+                grid_temps = lane_base + correction * self._package_solve
+                package_temp = (
+                    coupling @ grid_temps
+                ) / self.network.package_diagonal
+                solution = np.concatenate([grid_temps, [package_temp]])
             maps.append(
                 map_from_solution(
                     self.grid,
