@@ -62,6 +62,7 @@ from .bench import (
     small_synthetic_circuit,
 )
 from .core import describe_strategies, resolve_strategy, split_spec_list
+from .faults import RetryPolicy, install_env_plan
 from .flow import (
     ArtifactStore,
     Campaign,
@@ -291,6 +292,9 @@ def run_sweep(args: argparse.Namespace) -> int:
     # The process executor is incompatible with batched solves and the
     # artifact graph (both are per-process); it brings its own parallelism.
     sharded = args.executor == "process"
+    if args.max_point_retries < 0:
+        raise ValueError("--max-point-retries must be >= 0")
+    retry_policy = RetryPolicy(max_attempts=args.max_point_retries + 1)
     campaign = Campaign(
         setup,
         strategies=_flatten_strategies(args.strategies),
@@ -302,6 +306,8 @@ def run_sweep(args: argparse.Namespace) -> int:
         flow=None if sharded else flow,
         result_store=store,
         executor=args.executor,
+        retry_policy=retry_policy,
+        fail_fast=args.fail_fast,
     )
     result = campaign.run(max_workers=args.jobs)
     result.metadata.update({
@@ -317,6 +323,17 @@ def run_sweep(args: argparse.Namespace) -> int:
     if store is not None:
         print(f"result store: {result.metadata['store_hits']} stored point(s) "
               f"reused, {result.metadata['num_evaluated']} evaluated")
+    if result.metadata.get("num_failed"):
+        failures = result.failed_points
+        print(f"{len(failures)} point(s) quarantined after exhausting retries "
+              f"({result.metadata.get('retries', 0)} retry attempt(s), "
+              f"{result.metadata.get('respawns', 0)} worker respawn(s)):")
+        for entry in failures:
+            print(f"  {entry['workload']}/{entry['strategy']}"
+                  f"@{entry['overhead']}: {entry['error']}")
+    if result.metadata.get("degraded_points"):
+        print(f"{result.metadata['degraded_points']} point(s) solved via the "
+              f"LU fallback (degraded=True in the records)")
     if result.metadata.get("interrupted"):
         print("interrupted: rerun with the same --result-store to resume")
     print(f"flow stages: {_stage_summary(flow)}")
@@ -385,6 +402,10 @@ def run_serve(args: argparse.Namespace) -> int:
           + (f", result store {args.result_store}" if args.result_store else ""))
     try:
         server.serve_forever()
+        # A protocol-op shutdown runs on a background thread; a draining
+        # one may still be finishing in-flight batches when the accept
+        # loop returns, so hold the process open until it completes.
+        server.wait_closed(timeout=60.0)
     except KeyboardInterrupt:
         print("repro serve: shutting down")
         server.shutdown()
@@ -411,8 +432,14 @@ def run_submit(args: argparse.Namespace) -> int:
             overheads=tuple(args.overheads),
             analyze_timing=args.timing,
         )
-    except (ServiceError, OSError) as error:
+    except ServiceError as error:
         print(f"repro submit: error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        # Covers ConnectionError and socket timeouts: the daemon is down,
+        # unreachable, or not answering at this address.
+        print(f"repro submit: error: cannot reach server at "
+              f"{args.host}:{args.port} ({error})", file=sys.stderr)
         return 2
     print(figure6_report(result.outcomes()))
     server_stats = stats.get("server", {})
@@ -528,8 +555,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run static timing analysis per point (slower)",
     )
     sweep.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
+        "--jobs", type=_positive_int, default=None, metavar="N",
         help="worker threads or processes (default: one per CPU)",
+    )
+    sweep.add_argument(
+        "--max-point-retries", type=int, default=0, metavar="N",
+        help="retry each failing grid point up to N times with backoff "
+             "before quarantining it (default: 0, no retries)",
+    )
+    sweep.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the whole sweep on the first point failure instead of "
+             "quarantining the point and completing the rest",
     )
     sweep.add_argument(
         "--result-store", type=Path, default=None, metavar="DIR",
@@ -586,7 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
              "cross-request batch (default: 0.05)",
     )
     serve.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
+        "--jobs", type=_positive_int, default=None, metavar="N",
         help="worker threads per batch evaluation (default: one per CPU)",
     )
     serve.set_defaults(handler=run_serve)
@@ -687,6 +724,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         format="%(levelname)s %(name)s: %(message)s",
     )
     try:
+        # Honor a REPRO_FAULTS fault-injection plan (chaos testing) for
+        # every subcommand; a no-op when the variable is unset.
+        install_env_plan()
         return args.handler(args)
     except ValueError as error:
         # Domain validation (negative overheads, bad worker counts, ...)

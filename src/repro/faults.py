@@ -1,0 +1,366 @@
+"""Deterministic fault injection and retry policy for the execution tiers.
+
+The campaign runner, shard workers, result store, thermal solver, and the
+sweep service all call :func:`inject` at named *sites* ("shard.worker",
+"solver.multigrid", ...).  With no plan installed the call is a single
+attribute load and a ``return`` — effectively free — so the sites stay in
+production code permanently.  Activating a :class:`FaultPlan` (directly,
+or from the ``REPRO_FAULTS`` environment variable) turns chosen sites into
+deterministic failures: raised exceptions, or hard process exits that
+simulate a crashed shard worker.
+
+Plans are seedable and match on the *context* each site reports (workload,
+strategy, overhead, attempt number, ...), so a chaos test can say "kill the
+worker evaluating (eri, 0.10) on its first attempt only" and the run
+converges to the fault-free answer after the retry — regardless of thread
+or process scheduling.
+
+:class:`RetryPolicy` is the companion knob consumed by the campaign
+runner, the shard parent, and the service client: max attempts,
+exponential backoff with *deterministic* jitter (hash of a token, not
+wall-clock randomness), and retryable-exception classification.
+"""
+
+from __future__ import annotations
+
+import builtins
+import hashlib
+import json
+import logging
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Type
+
+logger = logging.getLogger(__name__)
+
+ENV_VAR = "REPRO_FAULTS"
+
+__all__ = [
+    "ENV_VAR",
+    "InjectedFault",
+    "FaultRule",
+    "FaultPlan",
+    "RetryPolicy",
+    "inject",
+    "activate",
+    "deactivate",
+    "get_active",
+    "active_plan",
+    "plan_from_env",
+    "install_env_plan",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by :func:`inject` when a fault rule fires at a site."""
+
+    def __init__(self, message: str, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+
+
+def _resolve_exception(name: str) -> Type[BaseException]:
+    candidate = getattr(builtins, name, None)
+    if isinstance(candidate, type) and issubclass(candidate, BaseException):
+        return candidate
+    if name in ("InjectedFault", "", None):
+        return InjectedFault
+    raise ValueError(f"unknown exception type in fault rule: {name!r}")
+
+
+@dataclass
+class FaultRule:
+    """One trigger: fire at ``site`` when ``match`` entries equal the context.
+
+    ``times=None`` fires on every matching call; ``times=N`` fires on the
+    first N matching calls *in the process holding the plan* (shard workers
+    each receive their own copy, so cross-process determinism should use
+    ``match={"attempt": 0, ...}`` instead of counters).  ``kind`` is
+    ``"raise"`` (default) or ``"exit"`` — the latter calls ``os._exit`` to
+    simulate a crashed worker process.  ``probability`` thins matching
+    calls with a seeded, call-count-deterministic coin flip.
+    """
+
+    site: str
+    kind: str = "raise"
+    times: Optional[int] = 1
+    match: Dict[str, Any] = field(default_factory=dict)
+    exception: str = "InjectedFault"
+    probability: float = 1.0
+    exit_code: int = 70
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("raise", "exit"):
+            raise ValueError(f"fault rule kind must be 'raise' or 'exit', got {self.kind!r}")
+        _resolve_exception(self.exception)  # fail fast on bad specs
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("fault rule probability must be in [0, 1]")
+
+    def matches(self, context: Mapping[str, Any]) -> bool:
+        if self.times is not None and self.fired >= self.times:
+            return False
+        for key, expected in self.match.items():
+            if key not in context or context[key] != expected:
+                return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        spec: Dict[str, Any] = {"site": self.site}
+        if self.kind != "raise":
+            spec["kind"] = self.kind
+        if self.times != 1:
+            spec["times"] = self.times
+        if self.match:
+            spec["match"] = dict(self.match)
+        if self.exception != "InjectedFault":
+            spec["exception"] = self.exception
+        if self.probability != 1.0:
+            spec["probability"] = self.probability
+        return spec
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "FaultRule":
+        known = {"site", "kind", "times", "match", "exception", "probability", "exit_code"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(f"unknown fault rule keys: {sorted(unknown)}")
+        if "site" not in spec:
+            raise ValueError("fault rule needs a 'site'")
+        return cls(
+            site=str(spec["site"]),
+            kind=str(spec.get("kind", "raise")),
+            times=spec.get("times", 1),
+            match=dict(spec.get("match", {})),
+            exception=str(spec.get("exception", "InjectedFault")),
+            probability=float(spec.get("probability", 1.0)),
+            exit_code=int(spec.get("exit_code", 70)),
+        )
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule`\\ s plus per-site fire/call counters."""
+
+    def __init__(self, rules: Iterable[FaultRule] = (), seed: int = 0) -> None:
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self.calls: Dict[str, int] = {}
+        self.fires: Dict[str, int] = {}
+
+    # -- builder -----------------------------------------------------------
+    def fail(self, site: str, **kwargs: Any) -> "FaultPlan":
+        """Append a rule; returns ``self`` for chaining."""
+        self.rules.append(FaultRule(site=site, **kwargs))
+        return self
+
+    # -- pickling (plans travel to shard worker processes) -----------------
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- trigger machinery -------------------------------------------------
+    def _coin(self, site: str, call_index: int, probability: float) -> bool:
+        if probability >= 1.0:
+            return True
+        token = f"{self.seed}:{site}:{call_index}".encode()
+        digest = hashlib.blake2b(token, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2.0**64 < probability
+
+    def on_call(self, site: str, context: Mapping[str, Any]) -> None:
+        """Record the call; raise or exit if a rule fires.  Thread-safe."""
+        with self._lock:
+            call_index = self.calls.get(site, 0)
+            self.calls[site] = call_index + 1
+            rule = None
+            for candidate in self.rules:
+                if candidate.site != site or not candidate.matches(context):
+                    continue
+                if not self._coin(site, call_index, candidate.probability):
+                    continue
+                candidate.fired += 1
+                self.fires[site] = self.fires.get(site, 0) + 1
+                rule = candidate
+                break
+        if rule is None:
+            return
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(context.items()))
+        message = f"injected fault at {site}" + (f" ({detail})" if detail else "")
+        if rule.kind == "exit":
+            logger.warning("%s: exiting process with code %d", message, rule.exit_code)
+            os._exit(rule.exit_code)
+        exc_type = _resolve_exception(rule.exception)
+        if exc_type is InjectedFault:
+            raise InjectedFault(message, site=site)
+        raise exc_type(message)
+
+    # -- introspection -----------------------------------------------------
+    def fired(self, site: str) -> int:
+        with self._lock:
+            return self.fires.get(site, 0)
+
+    def seen(self, site: str) -> int:
+        with self._lock:
+            return self.calls.get(site, 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "rules": [rule.to_dict() for rule in self.rules]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "FaultPlan":
+        rules = [FaultRule.from_dict(entry) for entry in spec.get("rules", ())]
+        return cls(rules=rules, seed=int(spec.get("seed", 0)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, rules={self.rules!r})"
+
+
+# The installed plan.  ``inject`` reads this without locking: installation
+# happens before the faulty section runs, and a plain attribute load of a
+# module global is atomic under the GIL.
+_PLAN: Optional[FaultPlan] = None
+
+
+def inject(site: str, context: Optional[Mapping[str, Any]] = None) -> None:
+    """Fault-injection site.  A no-op unless a plan is active."""
+    plan = _PLAN
+    if plan is None:
+        return
+    plan.on_call(site, context or {})
+
+
+def activate(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install ``plan`` process-wide; returns the previously installed plan."""
+    global _PLAN
+    previous = _PLAN
+    _PLAN = plan
+    return previous
+
+
+def deactivate() -> None:
+    activate(None)
+
+
+def get_active() -> Optional[FaultPlan]:
+    return _PLAN
+
+
+class active_plan:
+    """Context manager: install a plan for a block, restore the previous one."""
+
+    def __init__(self, plan: Optional[FaultPlan]) -> None:
+        self.plan = plan
+        self._previous: Optional[FaultPlan] = None
+
+    def __enter__(self) -> Optional[FaultPlan]:
+        self._previous = activate(self.plan)
+        return self.plan
+
+    def __exit__(self, *exc_info: Any) -> None:
+        activate(self._previous)
+
+
+def plan_from_env(value: Optional[str] = None) -> Optional[FaultPlan]:
+    """Parse a :class:`FaultPlan` from ``REPRO_FAULTS`` (or ``value``).
+
+    The format is JSON::
+
+        {"seed": 7, "rules": [
+            {"site": "shard.worker", "kind": "exit",
+             "match": {"strategy": "eri", "overhead": 0.1, "attempt": 0}},
+            {"site": "point.evaluate", "times": null,
+             "match": {"strategy": "hw", "overhead": 0.2}}
+        ]}
+
+    Returns ``None`` when the variable is unset or blank.
+    """
+    if value is None:
+        value = os.environ.get(ENV_VAR, "")
+    value = value.strip()
+    if not value:
+        return None
+    try:
+        spec = json.loads(value)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{ENV_VAR} is not valid JSON: {error}") from error
+    if not isinstance(spec, dict):
+        raise ValueError(f"{ENV_VAR} must be a JSON object with a 'rules' list")
+    return FaultPlan.from_dict(spec)
+
+
+def install_env_plan() -> Optional[FaultPlan]:
+    """Activate the ``REPRO_FAULTS`` plan, if any.  Returns the plan."""
+    plan = plan_from_env()
+    if plan is not None:
+        logger.warning("fault injection active: %s", plan.to_json())
+        activate(plan)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+
+_DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    InjectedFault,
+    ConnectionError,
+    TimeoutError,
+    OSError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` counts the first try: the default of 1 means "never
+    retry".  ``delay_s(attempt, token)`` is pure — the jitter is a hash of
+    the token and attempt number, not a wall-clock random draw — so two
+    runs of the same campaign back off identically.
+    """
+
+    max_attempts: int = 1
+    backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter_fraction: float = 0.1
+    retryable: Tuple[Type[BaseException], ...] = _DEFAULT_RETRYABLE
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+
+    def classify(self, error: BaseException) -> bool:
+        """True when ``error`` is worth retrying under this policy."""
+        return isinstance(error, self.retryable)
+
+    def delay_s(self, attempt: int, token: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based), with jitter."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = min(
+            self.max_backoff_s,
+            self.backoff_s * self.backoff_multiplier ** (attempt - 1),
+        )
+        if base <= 0.0 or self.jitter_fraction == 0.0:
+            return base
+        digest = hashlib.blake2b(
+            f"{token}:{attempt}".encode(), digest_size=8
+        ).digest()
+        jitter = int.from_bytes(digest, "big") / 2.0**64
+        return base * (1.0 + self.jitter_fraction * jitter)

@@ -45,6 +45,7 @@ from .runner import (
     CampaignPoint,
     CampaignRecord,
     CampaignResult,
+    FailedPoint,
     records_from_outcomes,
 )
 from .store import (
@@ -97,5 +98,6 @@ __all__ = [
     "CampaignPoint",
     "CampaignRecord",
     "CampaignResult",
+    "FailedPoint",
     "records_from_outcomes",
 ]

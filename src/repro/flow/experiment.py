@@ -221,6 +221,10 @@ class StrategyOutcome:
         core_width: Core width of the transformed design in micrometres.
         core_height: Core height of the transformed design in micrometres.
         num_fillers: Filler cells inserted.
+        fallback_used: True when the point's thermal map came from the
+            solver's degraded LU fallback (multigrid stall or injected
+            fault); such records are exact but not bitwise-comparable to a
+            healthy multigrid run.
     """
 
     strategy: str
@@ -234,6 +238,7 @@ class StrategyOutcome:
     core_width: float
     core_height: float
     num_fillers: int
+    fallback_used: bool = False
 
 
 @dataclass
@@ -363,6 +368,9 @@ def finish_evaluation(
         core_width=result.placement.floorplan.core_width,
         core_height=result.placement.floorplan.core_height,
         num_fillers=result.num_fillers,
+        # getattr: thermal maps unpickled from a pre-existing artifact
+        # store predate the flag.
+        fallback_used=bool(getattr(new_map, "fallback_used", False)),
     )
 
 
@@ -551,6 +559,7 @@ def concentrated_hotspot_table(
                 core_width=eri.placement.floorplan.core_width,
                 core_height=eri.placement.floorplan.core_height,
                 num_fillers=eri.num_fillers,
+                fallback_used=bool(getattr(new_map, "fallback_used", False)),
             )
         )
     return outcomes

@@ -100,12 +100,21 @@ class FlowGraph:
     # Executor core
     # ------------------------------------------------------------------
 
-    def _run(self, stage: str, key: str, build: Callable[[], object]):
+    def _run(
+        self,
+        stage: str,
+        key: str,
+        build: Callable[[], object],
+        cacheable: Optional[Callable[[object], bool]] = None,
+    ):
         """Return the artifact for ``(stage, key)``, executing on a miss.
 
         Single-flight: concurrent requests for the same key block on a
         per-key lock so the stage body runs exactly once; requests for
-        different keys build in parallel.
+        different keys build in parallel.  When ``cacheable`` is given and
+        rejects the freshly built artifact, it is returned but *not*
+        published to the store (the thermal stage uses this to keep
+        degraded fallback solves out of the content-addressed cache).
         """
         artifact = self.store.get(stage, key)
         if artifact is not None:
@@ -124,7 +133,8 @@ class FlowGraph:
                 artifact = build()
                 with self._lock:
                     self.stage_executions[stage] += 1
-                self.store.put(stage, key, artifact)
+                if cacheable is None or cacheable(artifact):
+                    self.store.put(stage, key, artifact)
                 return artifact
         finally:
             with self._lock:
@@ -319,7 +329,13 @@ class FlowGraph:
             thermal_map = solver.solve_power_map(power_map, x0=rises)
             return ThermalArtifact(key=key, thermal_map=thermal_map, method=resolved)
 
-        return self._run("thermal", key, build)
+        def cacheable(artifact) -> bool:
+            # A degraded (LU-fallback) map under a multigrid key would be
+            # served verbatim to later healthy runs — keep it out of the
+            # content-addressed store.
+            return not getattr(artifact.thermal_map, "fallback_used", False)
+
+        return self._run("thermal", key, build, cacheable=cacheable)
 
     def sta(
         self,

@@ -40,6 +40,7 @@ import numpy as np
 
 from ..core import StrategySpec, parse_strategy_spec, resolve_strategy
 from ..engine import get_engine
+from ..faults import RetryPolicy, inject
 from ..thermal.solver import grid_for_placement, resolve_thermal_method
 from .cache import SolverCache
 from .graph import FlowGraph
@@ -108,6 +109,30 @@ def _spec_params(spec: str) -> Dict[str, object]:
 
 
 @dataclass
+class FailedPoint:
+    """A grid point quarantined after exhausting its retry budget.
+
+    The sweep completes around it: the point's slot carries no record, and
+    this entry lands in the result metadata's ``failed_points`` list so the
+    failure is inspectable (and the point retried by a later run against
+    the same result store — failures are never published).
+    """
+
+    point: CampaignPoint
+    error: str
+    attempts: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.point.workload,
+            "strategy": self.point.strategy,
+            "overhead": self.point.overhead,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
 class CampaignRecord:
     """One executed campaign point.
 
@@ -128,6 +153,15 @@ class CampaignRecord:
     def __post_init__(self) -> None:
         if not self.strategy_params:
             self.strategy_params = _spec_params(self.point.strategy)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the point's solve went through the LU fallback chain.
+
+        Degraded records are exact (LU is the reference backend) but not
+        bitwise-comparable to a healthy multigrid run of the same point.
+        """
+        return bool(getattr(self.outcome, "fallback_used", False))
 
     def to_dict(self) -> Dict[str, object]:
         """Flat dict form (used for both JSON and CSV rows)."""
@@ -202,6 +236,15 @@ class CampaignResult:
         """Fraction of solver lookups served from the cache (0 when unused)."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def failed_points(self) -> List[Dict[str, object]]:
+        """Quarantined points of the run (``[]`` on a clean sweep)."""
+        return list(self.metadata.get("failed_points", []))
+
+    def degraded_records(self) -> List[CampaignRecord]:
+        """Records whose solve went through the LU fallback chain."""
+        return [record for record in self.records if record.degraded]
 
     def find(
         self, strategy: str, overhead: float, workload: Optional[str] = None
@@ -370,6 +413,16 @@ class Campaign:
             Both produce records bitwise-identical to a serial run.  The
             process executor is incompatible with ``batch_solves`` and
             ``flow`` (per-process artifact stores would defeat both).
+        retry_policy: Per-point :class:`~repro.faults.RetryPolicy`.  The
+            default never retries; a policy with ``max_attempts > 1``
+            re-runs a point that raised a retryable exception, with
+            deterministic exponential backoff.  Evaluation is pure, so a
+            retried point that succeeds produces exactly the record a
+            fault-free run would have.
+        fail_fast: Abort the whole run on the first point that exhausts
+            its retries (pre-quarantine behaviour).  The default records
+            the failure as a ``failed_points`` metadata entry and lets the
+            rest of the sweep complete.
     """
 
     def __init__(
@@ -384,6 +437,8 @@ class Campaign:
         flow: Optional[FlowGraph] = None,
         result_store: Optional[ResultStore] = None,
         executor: str = "thread",
+        retry_policy: Optional[RetryPolicy] = None,
+        fail_fast: bool = False,
     ) -> None:
         if isinstance(setups, ExperimentSetup):
             setups = {setups.workload.name: setups}
@@ -409,8 +464,13 @@ class Campaign:
         self.batch_solves = batch_solves
         self.result_store = result_store
         self.executor = executor
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.fail_fast = fail_fast
         self._stop_event = threading.Event()
         self._workload_fingerprints: Dict[str, Tuple[str, str]] = {}
+        self._counter_lock = threading.Lock()
+        self._retries = 0
+        self._respawns = 0
 
     @property
     def points(self) -> List[CampaignPoint]:
@@ -474,9 +534,72 @@ class Campaign:
         """
         self._stop_event.set()
 
+    # -- retry / quarantine --------------------------------------------------
+
+    def _retry_loop(self, token: str, attempt_fn):
+        """Run ``attempt_fn(attempt)`` under the campaign's retry policy.
+
+        Returns ``(value, error, attempts)``: on success ``error`` is
+        ``None``; on exhaustion ``value`` is ``None`` and ``error`` is the
+        final exception.  Backoff is deterministic (seeded on ``token``).
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                return attempt_fn(attempt), None, attempt + 1
+            except Exception as error:  # noqa: BLE001 - quarantine boundary
+                attempts = attempt + 1
+                if (
+                    policy.classify(error)
+                    and attempts < policy.max_attempts
+                    and not self._stop_event.is_set()
+                ):
+                    with self._counter_lock:
+                        self._retries += 1
+                    delay = policy.delay_s(attempts, token=token)
+                    logger.warning(
+                        "%s failed on attempt %d/%d (%r); retrying in %.3fs",
+                        token, attempts, policy.max_attempts, error, delay,
+                    )
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                return None, error, attempts
+
+    def _guarded_point(self, point: CampaignPoint, attempt_fn):
+        """Retry ``attempt_fn(attempt)``; quarantine the point on exhaustion.
+
+        Returns the attempt function's value, or a :class:`FailedPoint`
+        (with ``fail_fast`` the final exception is re-raised instead).
+        """
+        token = f"{point.workload}:{point.strategy}:{point.overhead}"
+        value, error, attempts = self._retry_loop(token, attempt_fn)
+        if error is None:
+            return value
+        if self.fail_fast:
+            raise error
+        logger.warning(
+            "quarantining point %s after %d attempt(s): %r",
+            point, attempts, error,
+        )
+        return FailedPoint(point=point, error=repr(error), attempts=attempts)
+
     # ------------------------------------------------------------------
 
-    def _evaluate(self, index: int, total: int, point: CampaignPoint) -> CampaignRecord:
+    def _evaluate(
+        self, index: int, total: int, point: CampaignPoint, attempt: int = 0
+    ) -> CampaignRecord:
+        inject(
+            "point.evaluate",
+            {
+                "workload": point.workload,
+                "strategy": point.strategy,
+                "overhead": point.overhead,
+                "attempt": attempt,
+            },
+        )
         start = time.perf_counter()
         outcome = evaluate_strategy(
             self.setups[point.workload],
@@ -501,7 +624,20 @@ class Campaign:
 
     # -- batched execution ---------------------------------------------------
 
-    def _prepare(self, point: CampaignPoint) -> Tuple[PreparedEvaluation, float]:
+    def _prepare(
+        self, point: CampaignPoint, attempt: int = 0
+    ) -> Tuple[PreparedEvaluation, float]:
+        # Same site and context as :meth:`_evaluate`: a rule targeting a
+        # point fires regardless of which execution path runs it.
+        inject(
+            "point.evaluate",
+            {
+                "workload": point.workload,
+                "strategy": point.strategy,
+                "overhead": point.overhead,
+                "attempt": attempt,
+            },
+        )
         start = time.perf_counter()
         prepared = prepare_evaluation(
             self.setups[point.workload], point.strategy, point.overhead,
@@ -511,7 +647,7 @@ class Campaign:
 
     def _solve_groups(
         self, points: List[CampaignPoint], prepared: "List[PreparedEvaluation]"
-    ) -> Tuple[List, List[float]]:
+    ) -> Tuple[List, List[float], Dict[int, "FailedPoint"]]:
         """Solve every point's power map, batching points that share a solver.
 
         Points are grouped by the cache key of their transformed die
@@ -519,6 +655,10 @@ class Campaign:
         exactly the set of points that share one prepared solver) and each
         group is solved as one multi-RHS block, warm-started per lane from
         its workload's baseline temperature field.
+
+        A group whose solve raises is retried under the campaign's policy;
+        on exhaustion every point of the group is quarantined (returned in
+        the third element, keyed by point position).
         """
         groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
         for index, prep in enumerate(prepared):
@@ -526,7 +666,8 @@ class Campaign:
 
         maps: List = [None] * len(points)
         solve_time = [0.0] * len(points)
-        for indices in groups.values():
+        failed: Dict[int, FailedPoint] = {}
+        for group_key, indices in groups.items():
             if self._stop_event.is_set():
                 break
             start = time.perf_counter()
@@ -542,16 +683,33 @@ class Campaign:
                 if rises is not None and rises.shape[0] == x0.shape[0]:
                     x0[:, lane] = rises
                     warm = True
-            solved = solver.solve_many(
-                [prepared[index].power_map for index in indices],
-                x0=x0 if warm else None,
+            solved, error, attempts = self._retry_loop(
+                f"solve-group:{group_key}",
+                lambda _attempt: solver.solve_many(
+                    [prepared[index].power_map for index in indices],
+                    x0=x0 if warm else None,
+                ),
             )
+            if error is not None:
+                if self.fail_fast:
+                    raise error
+                for index in indices:
+                    point = points[index]
+                    logger.warning(
+                        "quarantining point %s after %d group-solve "
+                        "attempt(s): %r",
+                        point, attempts, error,
+                    )
+                    failed[index] = FailedPoint(
+                        point=point, error=repr(error), attempts=attempts
+                    )
+                continue
             elapsed = time.perf_counter() - start
             for lane, index in enumerate(indices):
                 maps[index] = solved[lane]
                 solve_time[index] = elapsed / len(indices)
         self._num_solve_groups = len(groups)
-        return maps, solve_time
+        return maps, solve_time, failed
 
     def _finish(
         self,
@@ -579,51 +737,68 @@ class Campaign:
         )
         return CampaignRecord(point=point, outcome=outcome, elapsed_s=elapsed)
 
-    def _run_batched(
-        self, points: List[CampaignPoint], max_workers: int
-    ) -> List[CampaignRecord]:
+    def _run_batched(self, points: List[CampaignPoint], max_workers: int) -> List:
         """Three-phase execution: transform all points, solve by geometry
         group, then extract outcomes.
 
         Interruption-aware: a stop request skips the points not yet
         prepared, breaks out between solve groups, and leaves ``None`` in
-        the slots of unfinished points (the caller drops them).
+        the slots of unfinished points (the caller drops them).  A point
+        that exhausts its retries in any phase occupies its slot as a
+        :class:`FailedPoint` instead of aborting the batch.
         """
         total = len(points)
         transformed = _map_indexed(
             lambda index, point: (
-                None if self._stop_event.is_set() else self._prepare(point)
+                None
+                if self._stop_event.is_set()
+                else self._guarded_point(
+                    point,
+                    lambda attempt, point=point: self._prepare(
+                        point, attempt=attempt
+                    ),
+                )
             ),
             points,
             max_workers,
         )
-        live = [index for index, entry in enumerate(transformed) if entry is not None]
+        records: List = [None] * total
+        live: List[int] = []
+        for index, entry in enumerate(transformed):
+            if isinstance(entry, FailedPoint):
+                records[index] = entry
+            elif entry is not None:
+                live.append(index)
         live_points = [points[index] for index in live]
         prepared = [transformed[index][0] for index in live]
         prep_time = [transformed[index][1] for index in live]
 
-        maps, solve_time = self._solve_groups(live_points, prepared)
+        maps, solve_time, solve_failed = self._solve_groups(live_points, prepared)
 
         finished = _map_indexed(
             lambda pos, point: (
-                None
+                solve_failed[pos]
+                if pos in solve_failed
+                else None
                 if maps[pos] is None or self._stop_event.is_set()
-                else self._finish(
-                    live[pos], total, point, prepared[pos], maps[pos],
-                    prep_time[pos] + solve_time[pos],
+                else self._guarded_point(
+                    point,
+                    lambda attempt, pos=pos, point=point: self._finish(
+                        live[pos], total, point, prepared[pos], maps[pos],
+                        prep_time[pos] + solve_time[pos],
+                    ),
                 )
             ),
             live_points,
             max_workers,
         )
-        records: List[Optional[CampaignRecord]] = [None] * total
         for pos, index in enumerate(live):
             records[index] = finished[pos]
         return records
 
     def evaluate_points(
         self, points: Sequence[CampaignPoint], max_workers: Optional[int] = None
-    ) -> List[CampaignRecord]:
+    ) -> List:
         """Evaluate an explicit point list (not the campaign's own grid).
 
         This is the batching entry the ``repro serve`` daemon uses: it
@@ -634,7 +809,9 @@ class Campaign:
         must reference workloads present in ``setups``.
 
         Returns:
-            One record per point, in the given order.
+            One entry per point, in the given order: a
+            :class:`CampaignRecord`, or a :class:`FailedPoint` for points
+            that exhausted their retries (unless ``fail_fast``).
         """
         points = list(points)
         for point in points:
@@ -647,29 +824,42 @@ class Campaign:
             return self._run_batched(points, max_workers)
         total = len(points)
         return _map_indexed(
-            lambda index, point: self._evaluate(index, total, point),
+            lambda index, point: self._guarded_point(
+                point,
+                lambda attempt, index=index, point=point: self._evaluate(
+                    index, total, point, attempt=attempt
+                ),
+            ),
             points,
             max_workers,
         )
 
     def _evaluate_pending(
         self, index: int, total: int, point: CampaignPoint, key: Optional[str]
-    ) -> Optional[CampaignRecord]:
+    ):
         """Evaluate one not-yet-stored point (thread/serial executor).
 
         Skips (returns ``None``) after a stop request.  With a result
         store attached the evaluation goes through cross-process
         single-flight, so two campaigns (or a campaign and the serve
         daemon) racing on the same point compute it once between them.
+        An evaluation that raises is retried under the campaign's policy
+        *around* the store transaction (a failed attempt publishes
+        nothing); exhaustion quarantines the point as a
+        :class:`FailedPoint`.
         """
         if self._stop_event.is_set():
             return None
-        if self.result_store is None or key is None:
-            return self._evaluate(index, total, point)
-        record, _computed = self.result_store.compute_if_missing(
-            key, lambda: self._evaluate(index, total, point)
-        )
-        return record
+
+        def attempt_once(attempt: int):
+            if self.result_store is None or key is None:
+                return self._evaluate(index, total, point, attempt=attempt)
+            record, _computed = self.result_store.compute_if_missing(
+                key, lambda: self._evaluate(index, total, point, attempt=attempt)
+            )
+            return record
+
+        return self._guarded_point(point, attempt_once)
 
     def run(self, max_workers: Optional[int] = None) -> CampaignResult:
         """Execute every grid point and collect the records in grid order.
@@ -712,6 +902,9 @@ class Campaign:
 
         self._num_solve_groups = 0
         self._stop_event.clear()
+        with self._counter_lock:
+            self._retries = 0
+            self._respawns = 0
 
         # Resume sweep: reuse every point the result store already holds.
         stored: Dict[int, CampaignRecord] = {}
@@ -747,13 +940,17 @@ class Campaign:
             if self.executor == "process":
                 from .shard import run_sharded
 
-                computed = run_sharded(
+                shard_run = run_sharded(
                     self,
                     pending_points,
                     keys=[keys[i] for i in pending] if keys is not None else None,
                     max_workers=max_workers,
                     stop_event=self._stop_event,
                 )
+                computed = shard_run.records
+                with self._counter_lock:
+                    self._retries += shard_run.retries
+                    self._respawns += shard_run.respawns
             elif self.batch_solves:
                 computed = self._run_batched(pending_points, max_workers)
             else:
@@ -775,6 +972,8 @@ class Campaign:
         for index, record in stored.items():
             records[index] = record
         num_evaluated = 0
+        failed: List[FailedPoint] = []
+        failed_indices: set = set()
         publish = (
             self.result_store is not None
             and keys is not None
@@ -782,22 +981,32 @@ class Campaign:
             # compute_if_missing; batched and sharded paths publish here.
             and (self.batch_solves or self.executor == "process")
         )
-        for pos, record in enumerate(computed):
-            if record is None:
+        for pos, entry in enumerate(computed):
+            if entry is None:
                 continue
             index = pending[pos]
-            records[index] = record
+            if isinstance(entry, FailedPoint):
+                # Quarantined: the slot stays empty and nothing is
+                # published, so a rerun against the store retries it.
+                failed.append(entry)
+                failed_indices.add(index)
+                continue
+            records[index] = entry
             num_evaluated += 1
             if publish:
-                self.result_store.put(keys[index], record)
+                self.result_store.put(keys[index], entry)
 
         elapsed = time.perf_counter() - start
         logger.info("campaign %r: finished in %.2fs", self.name, elapsed)
-        missing = [points[i] for i, r in enumerate(records) if r is None]
+        missing = [
+            points[i]
+            for i, r in enumerate(records)
+            if r is None and i not in failed_indices
+        ]
         if missing and not interrupted:
-            # A worker failure re-raises out of future.result() above, so
-            # every slot must be filled by now; a hole would mean a
-            # scheduling bug.
+            # A worker failure either re-raises (fail_fast) or occupies
+            # its slot as a FailedPoint, so every slot must be accounted
+            # for by now; a hole would mean a scheduling bug.
             raise RuntimeError(
                 f"campaign left {len(missing)} points unevaluated: {missing}"
             )
@@ -805,8 +1014,17 @@ class Campaign:
             logger.warning(
                 "campaign %r: interrupted - %d/%d points finished "
                 "(rerun with the same result store to resume)",
-                self.name, total - len(missing), total,
+                self.name, total - len(missing) - len(failed), total,
             )
+        if failed:
+            logger.warning(
+                "campaign %r: %d point(s) quarantined after exhausting "
+                "retries (see result metadata 'failed_points')",
+                self.name, len(failed),
+            )
+        final = [record for record in records if record is not None]
+        with self._counter_lock:
+            retries, respawns = self._retries, self._respawns
         metadata: Dict[str, object] = {
             "name": self.name,
             "workloads": list(self.setups),
@@ -821,6 +1039,11 @@ class Campaign:
             "num_solve_groups": self._num_solve_groups,
             "executor": self.executor,
             "interrupted": interrupted,
+            "retries": retries,
+            "respawns": respawns,
+            "failed_points": [entry.to_dict() for entry in failed],
+            "num_failed": len(failed),
+            "degraded_points": sum(1 for record in final if record.degraded),
         }
         if self.result_store is not None:
             metadata["result_store"] = self.result_store.stats().as_dict()
@@ -828,5 +1051,4 @@ class Campaign:
             metadata["num_evaluated"] = num_evaluated
         if self.flow is not None:
             metadata["flow_stages"] = self.flow.stats()
-        final = [record for record in records if record is not None]
         return CampaignResult(records=final, metadata=metadata)

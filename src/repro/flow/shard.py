@@ -15,8 +15,8 @@ per task.  This module ships it once, and the bulky parts not at all:
 * The structural skeleton (netlist graph, placement rows, package stack)
   is pickled exactly once per worker at startup, with the array slots
   stripped; workers re-attach the shared segments into the empty slots.
-* A task is then five scalars: ``(slot, workload, strategy spec,
-  overhead, result key)``.
+* A task is then six scalars: ``(slot, workload, strategy spec,
+  overhead, result key, attempt)``.
 
 Workers evaluate points with a private :class:`SolverCache` (factorised
 solvers hold SuperLU handles and cannot cross processes) and stream
@@ -27,6 +27,18 @@ the parent.  Evaluation is deterministic — identical inputs, identical
 NumPy/SciPy operations — so sharded records are bitwise-identical to the
 serial and threaded paths, which ``tests/test_shard.py`` asserts.
 
+Fault tolerance: each worker advertises its in-flight slot through a
+lock-free shared array (written *before* it starts evaluating, so the
+information survives even an ``os._exit`` mid-solve).  When the parent
+notices a dead worker it requeues that worker's in-flight point and
+spawns a replacement, up to a respawn budget; a point whose evaluation
+*raises* is retried under the campaign's
+:class:`~repro.faults.RetryPolicy` and quarantined as a
+:class:`~repro.flow.runner.FailedPoint` on exhaustion (or re-raised with
+``fail_fast``).  Requeued and retried points re-run the same pure
+evaluation, so surviving records stay bitwise-identical to a fault-free
+run.
+
 Workers ignore SIGINT: a Ctrl-C is handled by the parent campaign's
 handler (stop dispatching, drain in-flight points, flush, return partial),
 never by tearing workers down mid-solve.
@@ -34,6 +46,7 @@ never by tearing workers down mid-solve.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
 import os
 import pickle
@@ -42,14 +55,26 @@ import signal
 import threading
 import time
 import traceback
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..engine import get_engine, use_engine
 from .cache import SolverCache
 from .store import ResultStore
+
+logger = logging.getLogger(__name__)
+
+#: A worker's ``current slot`` value when it is idle.
+_IDLE = -1
+
+#: How many times a point whose worker *died* is requeued before it is
+#: quarantined (a deterministically crashing point would otherwise chew
+#: through the whole respawn budget).
+_MAX_CRASHES_PER_POINT = 3
 
 #: ``(owner attribute, array attribute)`` slots of an ``ExperimentSetup``
 #: whose ndarray payloads travel via shared memory instead of the pickled
@@ -143,9 +168,20 @@ def attach_setups(skeleton: bytes, specs: Dict[str, List[_SlotSpec]]):
     return setups, segments
 
 
-def _worker_main(skeleton, specs, config, task_queue, result_queue) -> None:
-    """One shard worker: attach baselines, evaluate tasks until sentinel."""
+def _worker_main(
+    skeleton, specs, config, task_queue, result_queue, current, worker_index
+) -> None:
+    """One shard worker: attach baselines, evaluate tasks until sentinel.
+
+    ``current[worker_index]`` mirrors the slot being evaluated (``_IDLE``
+    between tasks).  It lives in shared memory written directly — not
+    through a queue's feeder thread — so the parent can recover a dead
+    worker's in-flight point even after an abrupt ``os._exit``.
+    """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    plan = config.get("fault_plan")
+    if plan is not None:
+        faults.activate(plan)
     try:
         setups, segments = attach_setups(skeleton, specs)
     except Exception:
@@ -157,6 +193,7 @@ def _worker_main(skeleton, specs, config, task_queue, result_queue) -> None:
     from .experiment import evaluate_strategy
 
     store: Optional[ResultStore] = config["store"]
+    policy = config["retry_policy"]
     cache = SolverCache(method=config["method"])
     try:
         with use_engine(config["engine"]):
@@ -164,8 +201,17 @@ def _worker_main(skeleton, specs, config, task_queue, result_queue) -> None:
                 task = task_queue.get()
                 if task is None:
                     break
-                slot, workload, strategy, overhead, key = task
+                slot, workload, strategy, overhead, key, attempt = task
+                current[worker_index] = slot
                 try:
+                    context = {
+                        "workload": workload,
+                        "strategy": strategy,
+                        "overhead": overhead,
+                        "attempt": attempt,
+                    }
+                    faults.inject("shard.worker", context)
+                    faults.inject("point.evaluate", context)
                     start = time.perf_counter()
                     outcome = evaluate_strategy(
                         setups[workload],
@@ -186,8 +232,18 @@ def _worker_main(skeleton, specs, config, task_queue, result_queue) -> None:
                         # durable even if the parent is killed outright.
                         store.put(key, record)
                     result_queue.put(("ok", slot, record))
-                except Exception:
-                    result_queue.put(("error", slot, traceback.format_exc()))
+                except Exception as error:
+                    # The parent owns retry/quarantine decisions; report
+                    # the failure with its retryability classification.
+                    result_queue.put(
+                        (
+                            "error",
+                            slot,
+                            (traceback.format_exc(), policy.classify(error)),
+                        )
+                    )
+                finally:
+                    current[worker_index] = _IDLE
     finally:
         for segment in segments:
             try:
@@ -196,13 +252,31 @@ def _worker_main(skeleton, specs, config, task_queue, result_queue) -> None:
                 pass
 
 
+@dataclass
+class ShardRun:
+    """What :func:`run_sharded` hands back to the campaign.
+
+    Attributes:
+        records: Aligned with the input points: a ``CampaignRecord``, a
+            :class:`~repro.flow.runner.FailedPoint` for quarantined
+            points, or ``None`` for slots skipped after a stop request.
+        retries: Evaluation errors that were requeued under the policy.
+        respawns: Replacement workers spawned for dead ones.
+    """
+
+    records: List = field(default_factory=list)
+    retries: int = 0
+    respawns: int = 0
+
+
 def run_sharded(
     campaign,
     points: Sequence,
     keys: Optional[Sequence[Optional[str]]] = None,
     max_workers: Optional[int] = None,
     stop_event: Optional[threading.Event] = None,
-) -> List:
+    max_respawns: Optional[int] = None,
+) -> ShardRun:
     """Evaluate campaign points across worker processes.
 
     The parent dispatches point tasks over a bounded window (so a stop
@@ -210,9 +284,17 @@ def run_sharded(
     been queued) and collects records as workers finish them; slots whose
     points were skipped after a stop request stay ``None``.
 
+    A worker that raises gets its point retried under the campaign's
+    :class:`~repro.faults.RetryPolicy`; a worker that *dies* gets its
+    in-flight point requeued and — budget permitting — a replacement
+    worker spawned.  Points that exhaust either budget are quarantined as
+    :class:`~repro.flow.runner.FailedPoint` entries (or, with the
+    campaign's ``fail_fast``, abort the run).
+
     Args:
         campaign: The owning :class:`~repro.flow.runner.Campaign` (supplies
-            setups, solver method, timing flag and result store).
+            setups, solver method, timing flag, result store, retry policy
+            and fail-fast flag).
         points: The grid points to evaluate (typically the not-yet-stored
             remainder of the grid).
         keys: Optional per-point result-store keys, aligned with
@@ -221,23 +303,29 @@ def run_sharded(
             one per point).
         stop_event: Graceful-stop flag shared with the campaign's SIGINT
             handler.
+        max_respawns: Replacement-worker budget (default: ``max_workers``).
 
     Returns:
-        Records aligned with ``points`` (``None`` for skipped slots).
+        A :class:`ShardRun` with per-point results and fault counters.
 
     Raises:
-        RuntimeError: A worker raised while evaluating a point, failed to
-            start, or died unexpectedly.
+        RuntimeError: With the campaign's ``fail_fast``, the first point
+            failure; always when workers fail to start or every worker
+            dies with the respawn budget exhausted and ``fail_fast`` set.
     """
     total = len(points)
-    records: List = [None] * total
+    run = ShardRun(records=[None] * total)
     if total == 0:
-        return records
+        return run
     if stop_event is None:
         stop_event = threading.Event()
     if max_workers is None:
         max_workers = os.cpu_count() or 1
     max_workers = max(1, min(max_workers, total))
+    if max_respawns is None:
+        max_respawns = max_workers
+    fail_fast = bool(getattr(campaign, "fail_fast", False))
+    policy = campaign.retry_policy
 
     context = mp.get_context()
     segments, skeleton, specs = pack_setups(campaign.setups)
@@ -248,24 +336,72 @@ def run_sharded(
         "method": campaign.cache.method,
         "analyze_timing": campaign.analyze_timing,
         "store": campaign.result_store,
+        "retry_policy": policy,
+        # Each worker gets a copy of the active plan, so `times=` counters
+        # are per-process; cross-process-deterministic plans match on the
+        # task context (attempt number) instead.
+        "fault_plan": faults.get_active(),
     }
-    workers = [
-        context.Process(
+    # One shared slot per worker ever spawned (originals + respawns); a
+    # worker writes its in-flight slot there directly, surviving os._exit.
+    current = context.Array("i", max_workers + max_respawns, lock=False)
+    for index in range(len(current)):
+        current[index] = _IDLE
+
+    def spawn(index: int):
+        worker = context.Process(
             target=_worker_main,
-            args=(skeleton, specs, config, task_queue, result_queue),
+            args=(skeleton, specs, config, task_queue, result_queue, current, index),
             daemon=True,
             name=f"repro-shard-{index}",
         )
-        for index in range(max_workers)
-    ]
+        worker.start()
+        return worker
+
+    attempts: Dict[int, int] = {}
+    crashes: Dict[int, int] = {}
+    workers: Dict[int, mp.process.BaseProcess] = {}
     error: Optional[RuntimeError] = None
+
+    def dispatch(slot: int) -> None:
+        point = points[slot]
+        task_queue.put(
+            (
+                slot,
+                point.workload,
+                point.strategy,
+                point.overhead,
+                keys[slot] if keys is not None else None,
+                attempts.setdefault(slot, 0),
+            )
+        )
+
+    def quarantine(slot: int, message: str, tried: int) -> None:
+        from .runner import FailedPoint
+
+        nonlocal error
+        if fail_fast:
+            if error is None:
+                error = RuntimeError(
+                    f"shard worker failed on point {points[slot]}:\n{message}"
+                )
+            return
+        logger.warning(
+            "quarantining point %s after %d attempt(s): %s",
+            points[slot], tried, message.strip().splitlines()[-1] if message.strip() else message,
+        )
+        run.records[slot] = FailedPoint(
+            point=points[slot], error=message, attempts=tried
+        )
+
     try:
-        for worker in workers:
-            worker.start()
+        for index in range(max_workers):
+            workers[index] = spawn(index)
+        next_worker_index = max_workers
+        respawns_left = max_respawns
 
         next_slot = 0
         in_flight = 0
-        live = max_workers
         window = 2 * max_workers
         while True:
             while (
@@ -274,16 +410,7 @@ def run_sharded(
                 and error is None
                 and not stop_event.is_set()
             ):
-                point = points[next_slot]
-                task_queue.put(
-                    (
-                        next_slot,
-                        point.workload,
-                        point.strategy,
-                        point.overhead,
-                        keys[next_slot] if keys is not None else None,
-                    )
-                )
+                dispatch(next_slot)
                 next_slot += 1
                 in_flight += 1
             if in_flight == 0:
@@ -291,37 +418,94 @@ def run_sharded(
             try:
                 kind, slot, payload = result_queue.get(timeout=1.0)
             except queue_module.Empty:
-                if not any(worker.is_alive() for worker in workers):
-                    raise RuntimeError(
-                        f"all shard workers died with {in_flight} points in flight"
-                    ) from None
+                # Reap dead workers: requeue their in-flight points and
+                # spawn replacements while the budget lasts.
+                dead = [
+                    index
+                    for index, worker in workers.items()
+                    if not worker.is_alive()
+                ]
+                for index in dead:
+                    worker = workers.pop(index)
+                    lost = current[index]
+                    logger.warning(
+                        "shard worker %s died (exit code %s)",
+                        worker.name, worker.exitcode,
+                    )
+                    if lost != _IDLE and run.records[lost] is None:
+                        crashes[lost] = crashes.get(lost, 0) + 1
+                        attempts[lost] = attempts.get(lost, 0) + 1
+                        if crashes[lost] < _MAX_CRASHES_PER_POINT:
+                            logger.warning(
+                                "requeueing point %s lost to the dead worker",
+                                points[lost],
+                            )
+                            dispatch(lost)
+                        else:
+                            quarantine(
+                                lost,
+                                f"shard worker died evaluating the point "
+                                f"{crashes[lost]} times",
+                                attempts[lost],
+                            )
+                            in_flight -= 1
+                    if respawns_left > 0 and error is None and not stop_event.is_set():
+                        respawns_left -= 1
+                        run.respawns += 1
+                        workers[next_worker_index] = spawn(next_worker_index)
+                        next_worker_index += 1
+                if not workers:
+                    # No live workers and nothing to replace them with:
+                    # everything still outstanding is undeliverable.
+                    message = "all shard workers died and the respawn budget is exhausted"
+                    if error is None and fail_fast:
+                        error = RuntimeError(
+                            f"{message} with {in_flight} points in flight"
+                        )
+                    if error is not None:
+                        raise error
+                    for slot in range(next_slot):
+                        if run.records[slot] is None:
+                            quarantine(slot, message, attempts.get(slot, 0) + 1)
+                    stop_event.set()  # undispatched slots count as skipped
+                    break
                 continue
             if kind == "ok":
-                records[slot] = payload
+                run.records[slot] = payload
                 in_flight -= 1
             elif kind == "error":
-                in_flight -= 1
-                if error is None:
-                    error = RuntimeError(
-                        f"shard worker failed on point {points[slot]}:\n{payload}"
+                message, retryable = payload
+                tried = attempts.get(slot, 0) + 1
+                if (
+                    retryable
+                    and tried < policy.max_attempts
+                    and error is None
+                    and not stop_event.is_set()
+                ):
+                    attempts[slot] = tried
+                    run.retries += 1
+                    logger.warning(
+                        "point %s failed on attempt %d/%d; requeueing",
+                        points[slot], tried, policy.max_attempts,
                     )
+                    dispatch(slot)
+                else:
+                    quarantine(slot, message, tried)
+                    in_flight -= 1
             else:  # fatal: a worker died before taking any task
-                live -= 1
                 if error is None:
                     error = RuntimeError(f"shard worker failed to start:\n{payload}")
-                if live == 0 and in_flight > 0:
-                    raise error
         if error is not None:
             raise error
     finally:
-        for _worker in workers:
+        for _worker in workers.values():
             try:
                 task_queue.put(None)
             except (OSError, ValueError):
                 break
-        for worker in workers:
+        for worker in workers.values():
             worker.join(timeout=10.0)
-        for worker in workers:
+        for worker in workers.values():
             if worker.is_alive():
                 worker.terminate()
                 worker.join(timeout=5.0)
@@ -333,7 +517,7 @@ def run_sharded(
                 segment.unlink()
             except OSError:
                 pass
-    return records
+    return run
 
 
-__all__ = ["run_sharded", "pack_setups", "attach_setups"]
+__all__ = ["run_sharded", "ShardRun", "pack_setups", "attach_setups"]

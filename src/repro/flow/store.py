@@ -32,6 +32,7 @@ files).
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import time
@@ -40,6 +41,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from ..faults import InjectedFault, inject
 from .artifacts import (
     FLOW_KEY_VERSION,
     BlobIntegrityError,
@@ -52,6 +54,8 @@ from .artifacts import (
     thermal_map_digest,
     write_blob,
 )
+
+logger = logging.getLogger(__name__)
 
 #: Filename suffix of result entries (artifact stores use ``.art``).
 RESULT_SUFFIX = ".res"
@@ -140,6 +144,8 @@ class ResultStoreStats:
         single_flight_waits: ``compute_if_missing`` calls that waited on
             another process's computation instead of computing.
         memory_size: Records currently held in memory.
+        write_errors: Disk publications that failed (the record stayed in
+            memory and the campaign continued; durability only degrades).
     """
 
     hits: int
@@ -149,6 +155,7 @@ class ResultStoreStats:
     corrupt_evictions: int
     single_flight_waits: int
     memory_size: int
+    write_errors: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -166,6 +173,7 @@ class ResultStoreStats:
             "corrupt_evictions": self.corrupt_evictions,
             "single_flight_waits": self.single_flight_waits,
             "memory_size": self.memory_size,
+            "write_errors": self.write_errors,
             "hit_rate": self.hit_rate,
         }
 
@@ -204,6 +212,7 @@ class ResultStore:
         self._writes = 0
         self._corrupt_evictions = 0
         self._single_flight_waits = 0
+        self._write_errors = 0
 
     # -- pickling (for sharded workers) --------------------------------------
 
@@ -250,12 +259,24 @@ class ResultStore:
 
         Concurrent writers of the same key are safe: both publish the same
         content through an atomic rename, so readers see one intact entry.
+        The disk tier is best-effort: an I/O failure (disk full, permission
+        flip, injected ``store.write`` fault) is counted and logged, and
+        the record stays served from memory — a later run just recomputes.
         """
         with self._lock:
             self._writes += 1
             self._insert_memory(key, record)
         if self.root is not None:
-            write_blob(self._path(key), record)
+            try:
+                inject("store.write", {"key": key})
+                write_blob(self._path(key), record)
+            except (OSError, InjectedFault) as error:
+                with self._lock:
+                    self._write_errors += 1
+                logger.warning(
+                    "result store: failed to persist %s (%r); record kept "
+                    "in memory only", key, error,
+                )
 
     def _insert_memory(self, key: str, record) -> None:
         if self.maxsize == 0:
@@ -268,10 +289,13 @@ class ResultStore:
     def _read_disk(self, key: str):
         path = self._path(key)
         try:
+            # An injected ``store.read`` fault models a damaged entry:
+            # evicted and recomputed, exactly like an integrity failure.
+            inject("store.read", {"key": key})
             return read_blob(path)
         except OSError:
             return None
-        except BlobIntegrityError:
+        except (BlobIntegrityError, InjectedFault):
             with self._lock:
                 self._corrupt_evictions += 1
             try:
@@ -408,6 +432,7 @@ class ResultStore:
                 corrupt_evictions=self._corrupt_evictions,
                 single_flight_waits=self._single_flight_waits,
                 memory_size=len(self._memory),
+                write_errors=self._write_errors,
             )
 
     def clear_memory(self) -> None:

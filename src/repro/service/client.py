@@ -12,27 +12,24 @@ fetched over the wire are bitwise equal to the server's.
 from __future__ import annotations
 
 import json
+import logging
 import socket
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..faults import InjectedFault, RetryPolicy, inject
 from ..flow.runner import CampaignRecord, CampaignResult
+
+logger = logging.getLogger(__name__)
 
 
 class ServiceError(RuntimeError):
     """The server answered a request with an error."""
 
 
-def request_once(
-    host: str, port: int, payload: Dict[str, object], timeout: float = 600.0
+def _request_raw(
+    host: str, port: int, payload: Dict[str, object], timeout: float
 ) -> Dict[str, object]:
-    """Send one request object and return the parsed response.
-
-    Opens a fresh connection per call; :class:`SweepClient` wraps this
-    with response checking and record decoding.
-
-    Raises:
-        ConnectionError: The server closed without responding.
-    """
     with socket.create_connection((host, port), timeout=timeout) as conn:
         conn.sendall(json.dumps(payload).encode() + b"\n")
         chunks: List[bytes] = []
@@ -49,6 +46,45 @@ def request_once(
     return json.loads(raw)
 
 
+def request_once(
+    host: str,
+    port: int,
+    payload: Dict[str, object],
+    timeout: float = 600.0,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> Dict[str, object]:
+    """Send one request object and return the parsed response.
+
+    Opens a fresh connection per call; :class:`SweepClient` wraps this
+    with response checking and record decoding.  When ``retry_policy``
+    allows more than one attempt, connect/read failures (``OSError`` —
+    which covers ``ConnectionError`` and ``socket.timeout``) are retried
+    with deterministic backoff before giving up.
+
+    Raises:
+        ConnectionError: The server closed without responding (after any
+            retries the policy allows).
+        OSError: Connect or socket failure after exhausting retries.
+    """
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
+    op = payload.get("op")
+    attempt = 0
+    while True:
+        try:
+            inject("client.request", {"op": op, "attempt": attempt})
+            return _request_raw(host, port, payload, timeout)
+        except (OSError, InjectedFault) as error:
+            attempt += 1
+            if not policy.classify(error) or attempt >= policy.max_attempts:
+                raise
+            delay = policy.delay_s(attempt, token=f"client:{op}")
+            logger.warning(
+                "request %r to %s:%d failed (%s); retry %d/%d in %.2fs",
+                op, host, port, error, attempt, policy.max_attempts - 1, delay,
+            )
+            time.sleep(delay)
+
+
 class SweepClient:
     """Submit sweep requests to a running :class:`SweepServer`.
 
@@ -57,17 +93,35 @@ class SweepClient:
         port: Server port.
         timeout: Socket timeout per request (sweeps block until the
             server has solved every requested point).
+        retry_policy: Connection retry behaviour; defaults to three
+            attempts with short deterministic backoff.  Pass
+            ``RetryPolicy()`` (one attempt) to fail fast.
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 7410, timeout: float = 600.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7410,
+        timeout: float = 600.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=3, backoff_s=0.05)
+        )
 
     def _request(self, payload: Dict[str, object]) -> Dict[str, object]:
-        response = request_once(self.host, self.port, payload, timeout=self.timeout)
+        response = request_once(
+            self.host,
+            self.port,
+            payload,
+            timeout=self.timeout,
+            retry_policy=self.retry_policy,
+        )
         if not response.get("ok"):
             raise ServiceError(response.get("error", "unknown server error"))
         return response
@@ -76,13 +130,21 @@ class SweepClient:
         """Protocol identifier and served workloads of the daemon."""
         return self._request({"op": "ping"})
 
+    def health(self) -> Dict[str, object]:
+        """Liveness probe: ``status`` (serving/draining) and pending count."""
+        return self._request({"op": "health"})
+
     def stats(self) -> Dict[str, object]:
         """Lifetime server counters (store, batching, solver cache)."""
         return self._request({"op": "stats"})["stats"]
 
-    def shutdown_server(self) -> None:
-        """Ask the daemon to stop (it acknowledges, then exits)."""
-        self._request({"op": "shutdown"})
+    def shutdown_server(self, drain: bool = False) -> None:
+        """Ask the daemon to stop (it acknowledges, then exits).
+
+        With ``drain=True`` the server refuses new work but lets in-flight
+        batches finish before exiting.
+        """
+        self._request({"op": "shutdown", "drain": drain})
 
     def sweep(
         self,

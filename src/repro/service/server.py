@@ -39,9 +39,10 @@ from concurrent.futures import Future
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..core import resolve_strategy
+from ..faults import inject
 from ..flow.cache import SolverCache
 from ..flow.experiment import ExperimentSetup
-from ..flow.runner import Campaign, CampaignPoint, CampaignRecord
+from ..flow.runner import Campaign, CampaignPoint, CampaignRecord, FailedPoint
 from ..flow.store import ResultStore
 
 logger = logging.getLogger(__name__)
@@ -118,6 +119,8 @@ class SweepServer:
         self._queue: "queue.Queue[_Task]" = queue.Queue()
         self._lock = threading.Lock()
         self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._closed = threading.Event()
         self._counters = {
             "requests": 0,
             "points_requested": 0,
@@ -126,6 +129,7 @@ class SweepServer:
             "points_solved": 0,
             "num_solve_groups": 0,
             "batches": 0,
+            "failed_points": 0,
         }
 
         server = self
@@ -176,10 +180,27 @@ class SweepServer:
         logger.info("repro serve listening on %s:%d", *self.address)
         self._tcp.serve_forever()
 
-    def shutdown(self) -> None:
-        """Stop accepting, fail outstanding points, release the socket."""
-        self._stop.set()
+    def shutdown(self, drain: bool = False, drain_timeout_s: float = 30.0) -> None:
+        """Stop the server and release the socket.
+
+        With ``drain=True`` the accept loop stops first (new connections are
+        refused and new sweeps rejected), then in-flight batches are given up
+        to ``drain_timeout_s`` to finish before the scheduler is stopped.
+        Without draining, outstanding points fail immediately with
+        ``RuntimeError("server shut down")``.
+        """
+        self._draining.set()
+        # Refuse new connections before anything else; handler threads
+        # already inside a request keep running until their response is sent.
         self._tcp.shutdown()
+        if drain:
+            deadline = time.monotonic() + drain_timeout_s
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if not self._pending:
+                        break
+                time.sleep(0.02)
+        self._stop.set()
         self._tcp.server_close()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
@@ -191,6 +212,16 @@ class SweepServer:
         for task in pending:
             if not task.future.done():
                 task.future.set_exception(RuntimeError("server shut down"))
+        self._closed.set()
+
+    def wait_closed(self, timeout: Optional[float] = None) -> bool:
+        """Block until a (possibly draining) shutdown has fully finished.
+
+        The ``shutdown`` protocol op runs :meth:`shutdown` on a background
+        thread; CLI mode waits on this after the accept loop returns so a
+        drain is not cut short by process exit.
+        """
+        return self._closed.wait(timeout)
 
     def __enter__(self) -> "SweepServer":
         self.start()
@@ -213,15 +244,30 @@ class SweepServer:
             if op == "ping":
                 return {"ok": True, "protocol": PROTOCOL,
                         "workloads": sorted(self.setups)}
+            if op == "health":
+                with self._lock:
+                    pending = len(self._pending)
+                return {
+                    "ok": True,
+                    "protocol": PROTOCOL,
+                    "status": "draining" if self._draining.is_set() else "serving",
+                    "pending": pending,
+                    "workloads": sorted(self.setups),
+                }
             if op == "stats":
                 return {"ok": True, "stats": self.stats()}
             if op == "sweep":
                 return self._handle_sweep(payload)
             if op == "shutdown":
                 # Deferred: respond first, then stop the accept loop from a
-                # thread that is not inside it.
-                threading.Thread(target=self.shutdown, daemon=True).start()
-                return {"ok": True, "closing": True}
+                # thread that is not inside it.  ``drain: true`` finishes
+                # in-flight batches before the scheduler stops.
+                drain = bool(payload.get("drain", False))
+                self._draining.set()
+                threading.Thread(
+                    target=self.shutdown, kwargs={"drain": drain}, daemon=True
+                ).start()
+                return {"ok": True, "closing": True, "draining": drain}
             return {"ok": False, "error": f"unknown op {op!r}"}
         except Exception as error:  # a request must never kill the daemon
             logger.exception("request %r failed", op)
@@ -242,7 +288,10 @@ class SweepServer:
             return campaign
 
     def _handle_sweep(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        if self._draining.is_set():
+            return {"ok": False, "error": "server is draining; not accepting sweeps"}
         workload = payload.get("workload")
+        inject("service.sweep", {"workload": workload})
         if workload not in self.setups:
             return {
                 "ok": False,
@@ -354,18 +403,38 @@ class SweepServer:
                         task.future.set_exception(error)
                 continue
             groups = getattr(campaign, "_num_solve_groups", len(points))
+            solved = sum(1 for record in records if isinstance(record, CampaignRecord))
+            failed = len(records) - solved
             with self._lock:
-                self._counters["points_solved"] += len(points)
+                self._counters["points_solved"] += solved
+                self._counters["failed_points"] += failed
                 self._counters["num_solve_groups"] += groups
                 self._counters["batches"] += 1
             logger.info(
                 "batch: %d point(s) -> %d solve group(s)", len(points), groups
             )
             for (key, task), record in zip(tasks.items(), records):
-                self.store.put(key, record)
                 with self._lock:
                     self._pending.pop(key, None)
-                task.future.set_result(record)
+                if isinstance(record, FailedPoint):
+                    # Quarantined point: fail only its waiters; never publish.
+                    if not task.future.done():
+                        task.future.set_exception(
+                            RuntimeError(
+                                f"point failed after {record.attempts} "
+                                f"attempt(s): {record.error}"
+                            )
+                        )
+                    continue
+                if record is None:
+                    if not task.future.done():
+                        task.future.set_exception(
+                            RuntimeError("point skipped (server interrupted)")
+                        )
+                    continue
+                self.store.put(key, record)
+                if not task.future.done():
+                    task.future.set_result(record)
 
     # -- observability -------------------------------------------------------
 

@@ -10,7 +10,7 @@ from .package import (
 from .grid import ThermalGrid
 from .network import NetworkElements, ThermalNetwork
 from .thermal_map import ThermalMap, map_from_solution
-from .multigrid import MultigridSolver
+from .multigrid import MultigridConvergenceError, MultigridSolver
 from .solver import (
     DEFAULT_PERMC_SPEC,
     MULTIGRID_AUTO_MIN_NODES,
@@ -44,6 +44,7 @@ __all__ = [
     "DEFAULT_PERMC_SPEC",
     "MULTIGRID_AUTO_MIN_NODES",
     "THERMAL_METHODS",
+    "MultigridConvergenceError",
     "MultigridSolver",
     "ThermalSolver",
     "cell_temperature_array",

@@ -75,6 +75,15 @@ DEFAULT_TOLERANCE = 1e-9
 DEFAULT_MAX_ITERATIONS = 200
 
 
+class MultigridConvergenceError(RuntimeError):
+    """The outer PCG missed its tolerance within the iteration cap.
+
+    Only raised when :meth:`MultigridSolver.solve` is called with
+    ``raise_on_stall=True``; the default behaviour stays a
+    :class:`RuntimeWarning` with the half-converged answer returned.
+    """
+
+
 @dataclass
 class _Color:
     """Precomputed smoother state of one checkerboard colour.
@@ -456,6 +465,7 @@ class MultigridSolver:
         x0: Optional[np.ndarray] = None,
         tol: Optional[Union[float, np.ndarray]] = None,
         max_iterations: Optional[int] = None,
+        raise_on_stall: bool = False,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Solve ``A x = rhs`` for one or more right-hand sides.
 
@@ -468,6 +478,11 @@ class MultigridSolver:
                 tolerance per lane (lanes freeze independently as each
                 reaches its own target).
             max_iterations: Iteration-cap override.
+            raise_on_stall: Raise :class:`MultigridConvergenceError` instead
+                of warning when any lane misses its tolerance within the
+                iteration cap — callers with a fallback path (the
+                :class:`~repro.thermal.solver.ThermalSolver` LU chain) use
+                this to trade a half-converged answer for an exact one.
 
         Returns:
             ``(x, iterations)`` where ``x`` matches ``rhs``'s shape and
@@ -542,12 +557,13 @@ class MultigridSolver:
             worst = float(
                 (np.sqrt(self._lane_dot(r, r)) / threshold * tol).max()
             )
-            warnings.warn(
+            message = (
                 f"multigrid CG stopped at {max_iterations} iterations with "
-                f"relative residual {worst:.2e} (target {float(tol.max()):.2e})",
-                RuntimeWarning,
-                stacklevel=2,
+                f"relative residual {worst:.2e} (target {float(tol.max()):.2e})"
             )
+            if raise_on_stall:
+                raise MultigridConvergenceError(message)
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
             iterations[~done] = it
 
         self.last_iterations = int(iterations.max()) if k else 0

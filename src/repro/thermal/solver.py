@@ -14,20 +14,24 @@ box of the paper's Figure 2.
 
 from __future__ import annotations
 
+import logging
 import threading
 from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse.linalg as spla
 
+from ..faults import InjectedFault, inject
 from ..placement import Placement
 from ..power import PowerReport, build_power_map, iter_cell_bins
 from ..power.power_map import PowerMap
 from .grid import ThermalGrid
-from .multigrid import MultigridSolver
+from .multigrid import MultigridConvergenceError, MultigridSolver
 from .network import ThermalNetwork
 from .package import Package, default_package
 from .thermal_map import ThermalMap, map_from_solution
+
+logger = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from ..flow.cache import SolverCache
@@ -101,6 +105,11 @@ class ThermalSolver:
             is available as :attr:`method`).
         tol: Relative-residual tolerance of the multigrid backend
             (``None`` uses :data:`repro.thermal.multigrid.DEFAULT_TOLERANCE`).
+        fallback: When the multigrid backend stalls (or a fault is
+            injected at the ``solver.multigrid`` site), silently re-solve
+            through a lazily built direct LU factorisation instead of
+            surfacing the half-converged answer.  The resulting maps carry
+            ``fallback_used=True``; disable to get the raising behaviour.
     """
 
     def __init__(
@@ -111,35 +120,37 @@ class ThermalSolver:
         symmetric_mode: bool = True,
         method: str = "auto",
         tol: Optional[float] = None,
+        fallback: bool = True,
     ) -> None:
         self.grid = grid
         self.network = ThermalNetwork(grid)
         self.keep_full_field = keep_full_field
         self.method = resolve_thermal_method(method, grid)
+        self.fallback = fallback
+        self.fallback_count = 0
+        # In symmetric mode the pivot threshold is dropped to keep
+        # SuperLU on the diagonal, as the matrix is a diagonally
+        # dominant SPD M-matrix; off-diagonal pivoting would only
+        # re-introduce fill the symmetric ordering avoids.
+        if symmetric_mode:
+            self._splu_kwargs = dict(
+                permc_spec=permc_spec,
+                diag_pivot_thresh=0.0,
+                options=dict(SymmetricMode=True),
+            )
+        else:
+            self._splu_kwargs = dict(permc_spec=permc_spec, options=dict())
         # Both backends solve the grid-only matrix (pure 7-point stencil);
         # the lumped package node would add a dense row, so it is eliminated
         # via a Sherman-Morrison rank-1 correction in :meth:`solve`.
         self._factorized = None
+        self._lu_lock = threading.Lock()
         self._mg: Optional[MultigridSolver] = None
         if self.method == "multigrid":
             mg_kwargs = {} if tol is None else {"tol": tol}
             self._mg = MultigridSolver(grid, network=self.network, **mg_kwargs)
         else:
-            # In symmetric mode the pivot threshold is dropped to keep
-            # SuperLU on the diagonal, as the matrix is a diagonally
-            # dominant SPD M-matrix; off-diagonal pivoting would only
-            # re-introduce fill the symmetric ordering avoids.
-            if symmetric_mode:
-                splu_kwargs = dict(
-                    diag_pivot_thresh=0.0, options=dict(SymmetricMode=True)
-                )
-            else:
-                splu_kwargs = dict(options=dict())
-            self._factorized = spla.splu(
-                self.network.grid_matrix.tocsc(),
-                permc_spec=permc_spec,
-                **splu_kwargs,
-            )
+            self._ensure_lu()
         # Reused RHS buffer: only the active-layer span is ever written, the
         # rest stays zero, so repeated solves (campaign sweeps, the leakage
         # feedback loop) allocate nothing per point.  Thread-local because a
@@ -160,6 +171,20 @@ class ThermalSolver:
             )
 
     # -- backend dispatch ----------------------------------------------------
+
+    def _ensure_lu(self):
+        """Build (once) and return the direct LU factorisation.
+
+        The LU backend builds it eagerly; the multigrid backend only pays
+        for the factorisation the first time its fallback path needs it.
+        """
+        if self._factorized is None:
+            with self._lu_lock:
+                if self._factorized is None:
+                    self._factorized = spla.splu(
+                        self.network.grid_matrix.tocsc(), **self._splu_kwargs
+                    )
+        return self._factorized
 
     def _base_from_physical(self, x0: np.ndarray) -> np.ndarray:
         """Convert a physical rise field into a base-system starting guess.
@@ -187,6 +212,7 @@ class ThermalSolver:
         ``x0`` (a previous *physical* temperature-rise field, same leading
         length) is exploited by the multigrid backend and ignored by LU.
         """
+        self._rhs_local.fallback = False
         if self._mg is None:
             self._rhs_local.iterations = 0
             return self._factorized.solve(rhs)
@@ -195,7 +221,28 @@ class ThermalSolver:
             x0 = None  # mismatched geometry: fall back to a cold start
         if x0 is not None:
             x0 = self._base_from_physical(np.asarray(x0, dtype=float))
-        solution, iterations = self._mg.solve(rhs, x0=x0)
+        try:
+            inject(
+                "solver.multigrid",
+                {
+                    "num_nodes": self.grid.num_nodes,
+                    "lanes": rhs.shape[1] if rhs.ndim == 2 else 1,
+                },
+            )
+            solution, iterations = self._mg.solve(
+                rhs, x0=x0, raise_on_stall=self.fallback
+            )
+        except (MultigridConvergenceError, InjectedFault) as error:
+            if not self.fallback:
+                raise
+            logger.warning(
+                "multigrid backend failed (%s); degrading to direct LU solve",
+                error,
+            )
+            self.fallback_count += 1
+            self._rhs_local.iterations = 0
+            self._rhs_local.fallback = True
+            return self._ensure_lu().solve(rhs)
         self._rhs_local.iterations = int(iterations.max()) if iterations.size else 0
         return solution
 
@@ -203,6 +250,11 @@ class ThermalSolver:
     def last_iterations(self) -> int:
         """Outer iterations of this thread's most recent solve (0 for LU)."""
         return getattr(self._rhs_local, "iterations", 0)
+
+    @property
+    def last_fallback_used(self) -> bool:
+        """True when this thread's most recent solve took the LU fallback."""
+        return getattr(self._rhs_local, "fallback", False)
 
     # -- solving -------------------------------------------------------------
 
@@ -241,6 +293,7 @@ class ThermalSolver:
             solution,
             package_node=self.network.package_node,
             keep_full_field=self.keep_full_field,
+            fallback_used=self.last_fallback_used,
         )
 
     def solve_power_map(
@@ -316,6 +369,7 @@ class ThermalSolver:
                     solution,
                     package_node=self.network.package_node,
                     keep_full_field=self.keep_full_field,
+                    fallback_used=self.last_fallback_used,
                 )
             )
         return maps

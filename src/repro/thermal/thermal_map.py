@@ -33,6 +33,11 @@ class ThermalMap:
             produced by a solver.  This is what warm-starts the multigrid
             backend on subsequent re-solves (leakage feedback, sweep
             points); ``None`` on hand-built maps.
+        fallback_used: True when the solver produced this map through its
+            degraded path (multigrid failed and the direct LU fallback
+            answered).  The temperatures are still exact — LU is the
+            reference backend — but they are not bitwise-comparable to a
+            healthy multigrid run, so downstream records carry the flag.
     """
 
     temperatures: np.ndarray
@@ -40,6 +45,7 @@ class ThermalMap:
     full_field: Optional[np.ndarray] = None
     package_temperature: Optional[float] = None
     grid_rises: Optional[np.ndarray] = None
+    fallback_used: bool = False
 
     # -- scalar metrics -------------------------------------------------------
 
@@ -111,6 +117,7 @@ def map_from_solution(
     solution: np.ndarray,
     package_node: Optional[int],
     keep_full_field: bool = False,
+    fallback_used: bool = False,
 ) -> ThermalMap:
     """Convert a flat temperature-rise solution vector into a :class:`ThermalMap`.
 
@@ -120,6 +127,7 @@ def map_from_solution(
             length ``grid.num_nodes`` (+1 if a package node is present).
         package_node: Index of the package node in ``solution`` or ``None``.
         keep_full_field: Store the full 3-D field in the result.
+        fallback_used: Mark the map as produced by the degraded LU path.
 
     Returns:
         The active-layer :class:`ThermalMap` in absolute Celsius.
@@ -137,4 +145,5 @@ def map_from_solution(
         full_field=(field + ambient) if keep_full_field else None,
         package_temperature=package_temp,
         grid_rises=rises,
+        fallback_used=fallback_used,
     )

@@ -23,7 +23,7 @@ from repro.flow import (
     setup_digest,
 )
 from repro.flow.artifacts import read_blob, write_blob
-from repro.flow.store import RESULT_SUFFIX
+from repro.flow.store import RESULT_SUFFIX, STALE_CLAIM_S
 
 NX = NY = 16
 
@@ -170,6 +170,82 @@ class TestResultStore:
             thread.join()
         assert len(computes) == 1
         assert results == ["value"] * 4
+
+
+class TestClaimEdgeCases:
+    """Single-flight claim files under pruning and owner crashes."""
+
+    def test_prune_keeps_live_claim_during_compute(self, tmp_path):
+        """A prune racing a live computation must not break its claim."""
+        from repro.flow.store import prune_store
+
+        root = tmp_path / "store"
+        store = ResultStore(root=root)
+        claim = store._claim_path("livekey")
+        entered = threading.Event()
+        release = threading.Event()
+        outcome = {}
+
+        def compute():
+            entered.set()
+            release.wait(timeout=30)
+            return "live-value"
+
+        def owner():
+            outcome["result"] = store.compute_if_missing("livekey", compute)
+
+        thread = threading.Thread(target=owner)
+        thread.start()
+        try:
+            assert entered.wait(timeout=10)
+            assert claim.exists()
+            # The claim is fresh (its owner is alive and computing): a
+            # concurrent prune must leave it in place.
+            report = prune_store(root)
+            assert report.strays_removed == 0
+            assert claim.exists()
+        finally:
+            release.set()
+            thread.join(timeout=30)
+        assert outcome["result"] == ("live-value", True)
+        assert not claim.exists()
+        assert store.get("livekey") == "live-value"
+
+    def test_stale_claim_broken_by_polling_waiter(self, tmp_path):
+        """A claim whose owner died goes stale mid-poll: the waiter breaks
+        it and recomputes exactly once, with exactly one publication."""
+        root = tmp_path / "store"
+        store = ResultStore(root=root)
+        claim = store._claim_path("stalekey")
+        claim.parent.mkdir(parents=True, exist_ok=True)
+        claim.touch()  # a fresh claim from a (soon to be dead) owner
+        computes = []
+
+        def compute():
+            computes.append(threading.get_ident())
+            return "recomputed"
+
+        result = {}
+        waiter = threading.Thread(
+            target=lambda: result.update(
+                value=store.compute_if_missing("stalekey", compute, poll_s=0.01)
+            )
+        )
+        waiter.start()
+        try:
+            # Let the waiter observe the live claim and poll on it...
+            time.sleep(0.1)
+            assert not computes
+            # ... then the owner "crashes": age the claim past staleness.
+            stale = time.time() - STALE_CLAIM_S - 60.0
+            os.utime(claim, (stale, stale))
+        finally:
+            waiter.join(timeout=30)
+        assert result["value"] == ("recomputed", True)
+        assert len(computes) == 1
+        assert store.stats().writes == 1
+        assert not claim.exists()
+        assert ResultStore(root=root).get("stalekey") == "recomputed"
 
 
 def _racing_writer(root, key, value, start_event, results):

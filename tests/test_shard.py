@@ -135,10 +135,23 @@ class TestShardedCampaign:
 
     def test_worker_failure_raises(self, shard_setup):
         campaign = Campaign(
-            shard_setup, ("eri",), (0.1,), executor="process", name="boom"
+            shard_setup, ("eri",), (0.1,), executor="process", name="boom",
+            fail_fast=True,
         )
         # Corrupt the grid after validation: the worker-side resolver
         # rejects the spec and the parent must surface that, not hang.
         campaign.strategies = ("no-such-strategy",)
         with pytest.raises(RuntimeError, match="shard worker failed"):
             campaign.run(max_workers=1)
+
+    def test_worker_failure_quarantines_by_default(self, shard_setup):
+        campaign = Campaign(
+            shard_setup, ("eri",), (0.1,), executor="process", name="boom-soft"
+        )
+        campaign.strategies = ("no-such-strategy",)
+        result = campaign.run(max_workers=1)
+        assert result.records == []
+        failed = result.failed_points
+        assert len(failed) == 1
+        assert failed[0]["strategy"] == "no-such-strategy"
+        assert "no-such-strategy" in failed[0]["error"]
