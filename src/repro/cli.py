@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
-Seven subcommands drive the campaign machinery end to end and persist
+Eight subcommands drive the campaign machinery end to end and persist
 results to disk:
 
 ``quickstart``
@@ -32,6 +32,11 @@ results to disk:
 ``cache``
     Inspect (``stats``) or prune (``prune``, by age and/or size) on-disk
     artifact caches and result stores.
+
+``fsck``
+    Audit (and with ``--repair`` fix) a store a crashed or killed process
+    left behind: orphaned single-flight claims, unpublished ``.tmp.*``
+    files, corrupt or misnamed entries.
 
 ``strategies``
     List the registered whitespace strategies with their defaults and
@@ -73,6 +78,7 @@ from .flow import (
     SolverCache,
     concentrated_hotspot_table,
     evaluate_strategy,
+    fsck_store,
     prune_store,
     records_from_outcomes,
     scan_store,
@@ -93,6 +99,17 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {text}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for durations that must be strictly positive."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {text}")
     return value
 
 
@@ -308,6 +325,7 @@ def run_sweep(args: argparse.Namespace) -> int:
         executor=args.executor,
         retry_policy=retry_policy,
         fail_fast=args.fail_fast,
+        point_timeout_s=args.point_timeout,
     )
     result = campaign.run(max_workers=args.jobs)
     result.metadata.update({
@@ -327,6 +345,7 @@ def run_sweep(args: argparse.Namespace) -> int:
         failures = result.failed_points
         print(f"{len(failures)} point(s) quarantined after exhausting retries "
               f"({result.metadata.get('retries', 0)} retry attempt(s), "
+              f"{result.metadata.get('timeouts', 0)} deadline timeout(s), "
               f"{result.metadata.get('respawns', 0)} worker respawn(s)):")
         for entry in failures:
             print(f"  {entry['workload']}/{entry['strategy']}"
@@ -395,6 +414,8 @@ def run_serve(args: argparse.Namespace) -> int:
         port=args.port,
         batch_window_s=args.batch_window,
         max_workers=args.jobs,
+        request_timeout_s=args.request_timeout,
+        point_timeout_s=args.point_timeout,
     )
     host, port = server.address
     print(f"repro serve: listening on {host}:{port}, "
@@ -481,6 +502,31 @@ def run_cache(args: argparse.Namespace) -> int:
                   f"({report.freed_bytes / 1e6:.2f} MB), kept {report.kept}"
                   + (f", cleaned {report.strays_removed} stray file(s)"
                      if report.strays_removed else ""))
+    return status
+
+
+def run_fsck(args: argparse.Namespace) -> int:
+    """Audit (and optionally repair) on-disk stores after a crash.
+
+    Exit status: 0 when every root is clean (or everything found was
+    repaired), 1 when problems remain — found without ``--repair``, or a
+    repair itself failed.
+    """
+    status = 0
+    for root in args.roots:
+        if not root.exists():
+            print(f"{root}: no store (directory does not exist)")
+            status = 1
+            continue
+        report = fsck_store(
+            root, repair=args.repair, verify_blobs=not args.no_verify
+        )
+        print(report.summary())
+        unrepaired = report.num_problems - report.num_repaired
+        if report.repair_errors or (report.num_problems and not args.repair):
+            status = 1
+        elif unrepaired > 0:
+            status = 1
     return status
 
 
@@ -579,6 +625,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan points out over threads (default) or shard them across "
              "worker processes with shared-memory baselines",
     )
+    sweep.add_argument(
+        "--point-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="deadline per grid-point attempt; a point that exceeds it is "
+             "cancelled (process workers: killed and respawned), retried "
+             "per --max-point-retries, then quarantined (default: none)",
+    )
     sweep.set_defaults(handler=run_sweep)
 
     table1 = subparsers.add_parser(
@@ -626,6 +679,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_positive_int, default=None, metavar="N",
         help="worker threads per batch evaluation (default: one per CPU)",
     )
+    serve.add_argument(
+        "--request-timeout", type=_positive_float, default=600.0,
+        metavar="SECONDS",
+        help="deadline per sweep request and per evaluation batch; a "
+             "client's own timeout_s tightens it further (default: 600)",
+    )
+    serve.add_argument(
+        "--point-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="deadline per grid-point attempt inside served batches; "
+             "timed-out points are quarantined, not hung (default: none)",
+    )
     serve.set_defaults(handler=run_serve)
 
     submit = subparsers.add_parser(
@@ -657,8 +722,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="also request static timing analysis per point",
     )
     submit.add_argument(
-        "--timeout", type=float, default=600.0, metavar="SECONDS",
-        help="request timeout (default: 600)",
+        "--timeout", type=_positive_float, default=600.0, metavar="SECONDS",
+        help="end-to-end request deadline; bounds the socket wait and is "
+             "forwarded to the server as timeout_s (default: 600)",
     )
     submit.add_argument(
         "--out", type=Path, default=Path("results"),
@@ -703,6 +769,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="log while scanning",
     )
     cache.set_defaults(handler=run_cache)
+
+    fsck = subparsers.add_parser(
+        "fsck", help="audit/repair stores after a crash or kill -9",
+    )
+    fsck.add_argument(
+        "roots", nargs="+", type=Path, metavar="DIR",
+        help="store directories (an --artifact-cache or --result-store DIR)",
+    )
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help="delete claim/temp debris and quarantine damaged entries "
+             "under DIR/.quarantine/ (default: report only, exit 1)",
+    )
+    fsck.add_argument(
+        "--no-verify", action="store_true",
+        help="skip reading and checksumming entry payloads (faster on "
+             "very large stores; corrupt blobs then go undetected)",
+    )
+    fsck.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log while scanning",
+    )
+    fsck.set_defaults(handler=run_fsck)
 
     strategies = subparsers.add_parser(
         "strategies", help="list the registered whitespace strategies",

@@ -29,6 +29,7 @@ import json
 import logging
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Type
 
@@ -77,9 +78,15 @@ class FaultRule:
     first N matching calls *in the process holding the plan* (shard workers
     each receive their own copy, so cross-process determinism should use
     ``match={"attempt": 0, ...}`` instead of counters).  ``kind`` is
-    ``"raise"`` (default) or ``"exit"`` — the latter calls ``os._exit`` to
-    simulate a crashed worker process.  ``probability`` thins matching
-    calls with a seeded, call-count-deterministic coin flip.
+    ``"raise"`` (default), ``"exit"`` — calls ``os._exit`` to simulate a
+    crashed worker process (no atexit, no finally: the kill-9 analogue
+    from inside) — or ``"hang"``: the call sleeps at the seam, simulating
+    a stuck component.  A cooperative hang (the default) polls the active
+    deadline while sleeping, so a deadline scope converts it into
+    :class:`~repro.deadlines.DeadlineExceeded`; ``cooperative=False``
+    ignores deadlines and only ``hang_s`` (or SIGKILL from a watchdog)
+    ends it.  ``probability`` thins matching calls with a seeded,
+    call-count-deterministic coin flip.
     """
 
     site: str
@@ -89,11 +96,17 @@ class FaultRule:
     exception: str = "InjectedFault"
     probability: float = 1.0
     exit_code: int = 70
+    hang_s: Optional[float] = None
+    cooperative: bool = True
     fired: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("raise", "exit"):
-            raise ValueError(f"fault rule kind must be 'raise' or 'exit', got {self.kind!r}")
+        if self.kind not in ("raise", "exit", "hang"):
+            raise ValueError(
+                f"fault rule kind must be 'raise', 'exit', or 'hang', got {self.kind!r}"
+            )
+        if self.hang_s is not None and self.hang_s < 0:
+            raise ValueError("hang_s must be >= 0")
         _resolve_exception(self.exception)  # fail fast on bad specs
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError("fault rule probability must be in [0, 1]")
@@ -118,16 +131,24 @@ class FaultRule:
             spec["exception"] = self.exception
         if self.probability != 1.0:
             spec["probability"] = self.probability
+        if self.hang_s is not None:
+            spec["hang_s"] = self.hang_s
+        if not self.cooperative:
+            spec["cooperative"] = False
         return spec
 
     @classmethod
     def from_dict(cls, spec: Mapping[str, Any]) -> "FaultRule":
-        known = {"site", "kind", "times", "match", "exception", "probability", "exit_code"}
+        known = {
+            "site", "kind", "times", "match", "exception", "probability",
+            "exit_code", "hang_s", "cooperative",
+        }
         unknown = set(spec) - known
         if unknown:
             raise ValueError(f"unknown fault rule keys: {sorted(unknown)}")
         if "site" not in spec:
             raise ValueError("fault rule needs a 'site'")
+        hang_s = spec.get("hang_s")
         return cls(
             site=str(spec["site"]),
             kind=str(spec.get("kind", "raise")),
@@ -136,6 +157,8 @@ class FaultRule:
             exception=str(spec.get("exception", "InjectedFault")),
             probability=float(spec.get("probability", 1.0)),
             exit_code=int(spec.get("exit_code", 70)),
+            hang_s=None if hang_s is None else float(hang_s),
+            cooperative=bool(spec.get("cooperative", True)),
         )
 
 
@@ -195,6 +218,13 @@ class FaultPlan:
         if rule.kind == "exit":
             logger.warning("%s: exiting process with code %d", message, rule.exit_code)
             os._exit(rule.exit_code)
+        if rule.kind == "hang":
+            logger.warning(
+                "%s: hanging (hang_s=%s, cooperative=%s)",
+                message, rule.hang_s, rule.cooperative,
+            )
+            _hang(site, rule)
+            return
         exc_type = _resolve_exception(rule.exception)
         if exc_type is InjectedFault:
             raise InjectedFault(message, site=site)
@@ -222,6 +252,29 @@ class FaultPlan:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultPlan(seed={self.seed}, rules={self.rules!r})"
+
+
+# How often a hanging site wakes to poll its deadline / duration cap.
+_HANG_POLL_S = 0.02
+
+
+def _hang(site: str, rule: FaultRule) -> None:
+    """Sleep at a seam; runs *outside* the plan lock.
+
+    A cooperative hang polls the thread's active deadline each wakeup, so
+    deadline-scoped callers see :class:`~repro.deadlines.DeadlineExceeded`
+    instead of a stall.  A non-cooperative hang ignores deadlines — only
+    ``hang_s`` or an external SIGKILL (the shard watchdog) ends it.
+    """
+    from .deadlines import check_active
+
+    start = time.monotonic()
+    while True:
+        if rule.cooperative:
+            check_active(site)
+        if rule.hang_s is not None and time.monotonic() - start >= rule.hang_s:
+            return
+        time.sleep(_HANG_POLL_S)
 
 
 # The installed plan.  ``inject`` reads this without locking: installation

@@ -48,6 +48,7 @@ from .runner import (
     FailedPoint,
     records_from_outcomes,
 )
+from .recover import FsckReport, fsck_store, recover_store
 from .store import (
     PruneReport,
     ResultStore,
@@ -70,6 +71,9 @@ __all__ = [
     "result_key",
     "scan_store",
     "prune_store",
+    "FsckReport",
+    "fsck_store",
+    "recover_store",
     "FlowGraph",
     "STAGES",
     "PlacementArtifact",

@@ -43,6 +43,7 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ..faults import inject
 from ..netlist import Netlist
 from ..placement import Placement
 from ..power.power_map import PowerMap
@@ -371,6 +372,10 @@ def write_blob(path: Path, obj) -> None:
     blob = _MAGIC + hashlib.sha256(payload).hexdigest().encode("ascii") + b"\n" + payload
     tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
     tmp.write_bytes(blob)
+    # Crash seam: an injected ``kind="exit"`` here simulates a kill -9
+    # between staging and publication — the ``.tmp.*`` debris left behind
+    # is what ``repro fsck`` audits and repairs.
+    inject("store.publish", {"path": path.name})
     os.replace(tmp, path)
 
 

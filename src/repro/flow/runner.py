@@ -31,6 +31,7 @@ import signal
 import threading
 import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
@@ -39,6 +40,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core import StrategySpec, parse_strategy_spec, resolve_strategy
+from ..deadlines import Deadline, DeadlineExceeded, deadline_scope
 from ..engine import get_engine
 from ..faults import RetryPolicy, inject
 from ..thermal.solver import grid_for_placement, resolve_thermal_method
@@ -423,6 +425,17 @@ class Campaign:
             its retries (pre-quarantine behaviour).  The default records
             the failure as a ``failed_points`` metadata entry and lets the
             rest of the sweep complete.
+        point_timeout_s: Wall-clock budget per point *attempt*.  Every
+            evaluation runs under a :func:`~repro.deadlines.deadline_scope`
+            checked cooperatively inside the hot loops (multigrid V-cycles,
+            placer passes, logic-sim cycles); an attempt that blows its
+            budget raises :class:`~repro.deadlines.DeadlineExceeded`, which
+            the retry policy classifies as retryable — so a hung point is
+            retried and, on exhaustion, quarantined like any other failure
+            instead of stalling the sweep.  With ``executor="process"`` the
+            timeout additionally arms a parent-side watchdog that SIGKILLs
+            a worker whose heartbeat goes stale (a non-cooperative hang).
+            ``None`` (default) disables per-point deadlines.
     """
 
     def __init__(
@@ -439,6 +452,7 @@ class Campaign:
         executor: str = "thread",
         retry_policy: Optional[RetryPolicy] = None,
         fail_fast: bool = False,
+        point_timeout_s: Optional[float] = None,
     ) -> None:
         if isinstance(setups, ExperimentSetup):
             setups = {setups.workload.name: setups}
@@ -466,11 +480,17 @@ class Campaign:
         self.executor = executor
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.fail_fast = fail_fast
+        if point_timeout_s is not None and point_timeout_s <= 0:
+            raise ValueError(
+                f"point_timeout_s must be > 0, got {point_timeout_s}"
+            )
+        self.point_timeout_s = point_timeout_s
         self._stop_event = threading.Event()
         self._workload_fingerprints: Dict[str, Tuple[str, str]] = {}
         self._counter_lock = threading.Lock()
         self._retries = 0
         self._respawns = 0
+        self._timeouts = 0
 
     @property
     def points(self) -> List[CampaignPoint]:
@@ -534,6 +554,17 @@ class Campaign:
         """
         self._stop_event.set()
 
+    def _point_scope(self):
+        """Deadline scope for one point attempt (no-op without a timeout).
+
+        A fresh deadline per attempt: a retry of a timed-out point gets
+        the full budget again, so ``point_timeout_s x max_attempts`` bounds
+        a pathological point's total wall-clock cost.
+        """
+        if self.point_timeout_s is None:
+            return nullcontext()
+        return deadline_scope(Deadline.after(self.point_timeout_s))
+
     # -- retry / quarantine --------------------------------------------------
 
     def _retry_loop(self, token: str, attempt_fn):
@@ -550,6 +581,9 @@ class Campaign:
                 return attempt_fn(attempt), None, attempt + 1
             except Exception as error:  # noqa: BLE001 - quarantine boundary
                 attempts = attempt + 1
+                if isinstance(error, DeadlineExceeded):
+                    with self._counter_lock:
+                        self._timeouts += 1
                 if (
                     policy.classify(error)
                     and attempts < policy.max_attempts
@@ -591,25 +625,26 @@ class Campaign:
     def _evaluate(
         self, index: int, total: int, point: CampaignPoint, attempt: int = 0
     ) -> CampaignRecord:
-        inject(
-            "point.evaluate",
-            {
-                "workload": point.workload,
-                "strategy": point.strategy,
-                "overhead": point.overhead,
-                "attempt": attempt,
-            },
-        )
-        start = time.perf_counter()
-        outcome = evaluate_strategy(
-            self.setups[point.workload],
-            point.strategy,
-            point.overhead,
-            analyze_timing=self.analyze_timing,
-            cache=self.cache,
-            flow=self.flow,
-        )
-        elapsed = time.perf_counter() - start
+        with self._point_scope():
+            inject(
+                "point.evaluate",
+                {
+                    "workload": point.workload,
+                    "strategy": point.strategy,
+                    "overhead": point.overhead,
+                    "attempt": attempt,
+                },
+            )
+            start = time.perf_counter()
+            outcome = evaluate_strategy(
+                self.setups[point.workload],
+                point.strategy,
+                point.overhead,
+                analyze_timing=self.analyze_timing,
+                cache=self.cache,
+                flow=self.flow,
+            )
+            elapsed = time.perf_counter() - start
         logger.info(
             "[%d/%d] %s %s @ %.1f%%: reduction %.2f%% in %.2fs",
             index + 1,
@@ -629,21 +664,22 @@ class Campaign:
     ) -> Tuple[PreparedEvaluation, float]:
         # Same site and context as :meth:`_evaluate`: a rule targeting a
         # point fires regardless of which execution path runs it.
-        inject(
-            "point.evaluate",
-            {
-                "workload": point.workload,
-                "strategy": point.strategy,
-                "overhead": point.overhead,
-                "attempt": attempt,
-            },
-        )
-        start = time.perf_counter()
-        prepared = prepare_evaluation(
-            self.setups[point.workload], point.strategy, point.overhead,
-            flow=self.flow,
-        )
-        return prepared, time.perf_counter() - start
+        with self._point_scope():
+            inject(
+                "point.evaluate",
+                {
+                    "workload": point.workload,
+                    "strategy": point.strategy,
+                    "overhead": point.overhead,
+                    "attempt": attempt,
+                },
+            )
+            start = time.perf_counter()
+            prepared = prepare_evaluation(
+                self.setups[point.workload], point.strategy, point.overhead,
+                flow=self.flow,
+            )
+            return prepared, time.perf_counter() - start
 
     def _solve_groups(
         self, points: List[CampaignPoint], prepared: "List[PreparedEvaluation]"
@@ -683,12 +719,19 @@ class Campaign:
                 if rises is not None and rises.shape[0] == x0.shape[0]:
                     x0[:, lane] = rises
                     warm = True
+            def _solve_attempt(_attempt, solver=solver, indices=indices,
+                               x0=x0, warm=warm):
+                # One per-point budget bounds the whole group solve: the
+                # batched block does no more work per lane than a single
+                # point's solve, so the group inherits the point deadline.
+                with self._point_scope():
+                    return solver.solve_many(
+                        [prepared[index].power_map for index in indices],
+                        x0=x0 if warm else None,
+                    )
+
             solved, error, attempts = self._retry_loop(
-                f"solve-group:{group_key}",
-                lambda _attempt: solver.solve_many(
-                    [prepared[index].power_map for index in indices],
-                    x0=x0 if warm else None,
-                ),
+                f"solve-group:{group_key}", _solve_attempt
             )
             if error is not None:
                 if self.fail_fast:
@@ -721,9 +764,10 @@ class Campaign:
         elapsed_so_far: float,
     ) -> CampaignRecord:
         start = time.perf_counter()
-        outcome = finish_evaluation(
-            prepared, new_map, analyze_timing=self.analyze_timing, flow=self.flow
-        )
+        with self._point_scope():
+            outcome = finish_evaluation(
+                prepared, new_map, analyze_timing=self.analyze_timing, flow=self.flow
+            )
         elapsed = elapsed_so_far + (time.perf_counter() - start)
         logger.info(
             "[%d/%d] %s %s @ %.1f%%: reduction %.2f%% in %.2fs (batched)",
@@ -905,6 +949,26 @@ class Campaign:
         with self._counter_lock:
             self._retries = 0
             self._respawns = 0
+            self._timeouts = 0
+
+        # Fast crash-recovery pass: clear stale claims and tmp debris a
+        # hard-killed predecessor left behind, so this run's single-flight
+        # and resume logic start from a clean store.
+        if self.result_store is not None and self.result_store.root is not None:
+            from .recover import recover_store
+
+            try:
+                recovered = recover_store(self.result_store.root)
+                if recovered.num_repaired:
+                    logger.warning(
+                        "campaign %r: recovered result store %s (%s)",
+                        self.name, self.result_store.root, recovered.summary(),
+                    )
+            except OSError as error:
+                logger.warning(
+                    "campaign %r: store recovery pass failed: %s",
+                    self.name, error,
+                )
 
         # Resume sweep: reuse every point the result store already holds.
         stored: Dict[int, CampaignRecord] = {}
@@ -923,18 +987,24 @@ class Campaign:
                 self.name, len(stored), total,
             )
 
-        previous_handler = None
+        # SIGTERM (container/orchestrator shutdown) gets the same graceful
+        # treatment as Ctrl-C: finish in-flight points, flush to the store,
+        # return a partial result marked ``interrupted``.
+        previous_handlers: List[Tuple[int, object]] = []
         if threading.current_thread() is threading.main_thread():
 
-            def _on_sigint(signum, frame):
+            def _on_signal(signum, frame):
                 logger.warning(
-                    "campaign %r: interrupt received - flushing finished "
+                    "campaign %r: %s received - flushing finished "
                     "points and stopping",
-                    self.name,
+                    self.name, signal.Signals(signum).name,
                 )
                 self.stop()
 
-            previous_handler = signal.signal(signal.SIGINT, _on_sigint)
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                previous_handlers.append(
+                    (signum, signal.signal(signum, _on_signal))
+                )
 
         try:
             if self.executor == "process":
@@ -951,6 +1021,7 @@ class Campaign:
                 with self._counter_lock:
                     self._retries += shard_run.retries
                     self._respawns += shard_run.respawns
+                    self._timeouts += shard_run.timeouts
             elif self.batch_solves:
                 computed = self._run_batched(pending_points, max_workers)
             else:
@@ -963,8 +1034,8 @@ class Campaign:
                     max_workers,
                 )
         finally:
-            if previous_handler is not None:
-                signal.signal(signal.SIGINT, previous_handler)
+            for signum, handler in previous_handlers:
+                signal.signal(signum, handler)
 
         interrupted = self._stop_event.is_set()
 
@@ -1025,6 +1096,7 @@ class Campaign:
         final = [record for record in records if record is not None]
         with self._counter_lock:
             retries, respawns = self._retries, self._respawns
+            timeouts = self._timeouts
         metadata: Dict[str, object] = {
             "name": self.name,
             "workloads": list(self.setups),
@@ -1041,6 +1113,8 @@ class Campaign:
             "interrupted": interrupted,
             "retries": retries,
             "respawns": respawns,
+            "timeouts": timeouts,
+            "point_timeout_s": self.point_timeout_s,
             "failed_points": [entry.to_dict() for entry in failed],
             "num_failed": len(failed),
             "degraded_points": sum(1 for record in final if record.degraded),

@@ -55,6 +55,7 @@ import signal
 import threading
 import time
 import traceback
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -62,6 +63,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import faults
+from ..deadlines import Deadline, DeadlineExceeded, deadline_scope
 from ..engine import get_engine, use_engine
 from .cache import SolverCache
 from .store import ResultStore
@@ -70,6 +72,12 @@ logger = logging.getLogger(__name__)
 
 #: A worker's ``current slot`` value when it is idle.
 _IDLE = -1
+
+#: Extra slack the parent-side watchdog grants past ``point_timeout_s``
+#: before SIGKILLing a worker with a stale heartbeat: the cooperative
+#: deadline inside the worker should win whenever the hang is pollable;
+#: the watchdog is the backstop for truly stuck (non-cooperative) code.
+_WATCHDOG_GRACE_S = 2.0
 
 #: How many times a point whose worker *died* is requeued before it is
 #: quarantined (a deterministically crashing point would otherwise chew
@@ -169,14 +177,17 @@ def attach_setups(skeleton: bytes, specs: Dict[str, List[_SlotSpec]]):
 
 
 def _worker_main(
-    skeleton, specs, config, task_queue, result_queue, current, worker_index
+    skeleton, specs, config, task_queue, result_queue, current, heartbeats,
+    worker_index,
 ) -> None:
     """One shard worker: attach baselines, evaluate tasks until sentinel.
 
     ``current[worker_index]`` mirrors the slot being evaluated (``_IDLE``
-    between tasks).  It lives in shared memory written directly — not
+    between tasks) and ``heartbeats[worker_index]`` the monotonic instant
+    the task started.  Both live in shared memory written directly — not
     through a queue's feeder thread — so the parent can recover a dead
-    worker's in-flight point even after an abrupt ``os._exit``.
+    worker's in-flight point even after an abrupt ``os._exit``, and its
+    watchdog can SIGKILL a worker that stops making progress.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     plan = config.get("fault_plan")
@@ -194,6 +205,7 @@ def _worker_main(
 
     store: Optional[ResultStore] = config["store"]
     policy = config["retry_policy"]
+    timeout = config.get("point_timeout_s")
     cache = SolverCache(method=config["method"])
     try:
         with use_engine(config["engine"]):
@@ -202,24 +214,34 @@ def _worker_main(
                 if task is None:
                     break
                 slot, workload, strategy, overhead, key, attempt = task
+                heartbeats[worker_index] = time.monotonic()
                 current[worker_index] = slot
                 try:
-                    context = {
-                        "workload": workload,
-                        "strategy": strategy,
-                        "overhead": overhead,
-                        "attempt": attempt,
-                    }
-                    faults.inject("shard.worker", context)
-                    faults.inject("point.evaluate", context)
-                    start = time.perf_counter()
-                    outcome = evaluate_strategy(
-                        setups[workload],
-                        strategy,
-                        overhead,
-                        analyze_timing=config["analyze_timing"],
-                        cache=cache,
+                    # Cooperative per-attempt deadline: a pollable hang
+                    # raises DeadlineExceeded here; only a truly stuck
+                    # worker needs the parent's SIGKILL watchdog.
+                    scope = (
+                        deadline_scope(Deadline.after(timeout))
+                        if timeout is not None
+                        else nullcontext()
                     )
+                    with scope:
+                        context = {
+                            "workload": workload,
+                            "strategy": strategy,
+                            "overhead": overhead,
+                            "attempt": attempt,
+                        }
+                        faults.inject("shard.worker", context)
+                        faults.inject("point.evaluate", context)
+                        start = time.perf_counter()
+                        outcome = evaluate_strategy(
+                            setups[workload],
+                            strategy,
+                            overhead,
+                            analyze_timing=config["analyze_timing"],
+                            cache=cache,
+                        )
                     record = CampaignRecord(
                         point=CampaignPoint(
                             workload=workload, strategy=strategy, overhead=overhead
@@ -234,12 +256,17 @@ def _worker_main(
                     result_queue.put(("ok", slot, record))
                 except Exception as error:
                     # The parent owns retry/quarantine decisions; report
-                    # the failure with its retryability classification.
+                    # the failure with its retryability classification
+                    # (and whether it was a blown deadline, for counters).
                     result_queue.put(
                         (
                             "error",
                             slot,
-                            (traceback.format_exc(), policy.classify(error)),
+                            (
+                                traceback.format_exc(),
+                                policy.classify(error),
+                                isinstance(error, DeadlineExceeded),
+                            ),
                         )
                     )
                 finally:
@@ -262,11 +289,15 @@ class ShardRun:
             points, or ``None`` for slots skipped after a stop request.
         retries: Evaluation errors that were requeued under the policy.
         respawns: Replacement workers spawned for dead ones.
+        timeouts: Attempts lost to a blown point deadline — cooperative
+            (the worker raised ``DeadlineExceeded``) or enforced (the
+            watchdog SIGKILLed a stale-heartbeat worker).
     """
 
     records: List = field(default_factory=list)
     retries: int = 0
     respawns: int = 0
+    timeouts: int = 0
 
 
 def run_sharded(
@@ -337,21 +368,31 @@ def run_sharded(
         "analyze_timing": campaign.analyze_timing,
         "store": campaign.result_store,
         "retry_policy": policy,
+        "point_timeout_s": getattr(campaign, "point_timeout_s", None),
         # Each worker gets a copy of the active plan, so `times=` counters
         # are per-process; cross-process-deterministic plans match on the
         # task context (attempt number) instead.
         "fault_plan": faults.get_active(),
     }
+    point_timeout_s = config["point_timeout_s"]
     # One shared slot per worker ever spawned (originals + respawns); a
     # worker writes its in-flight slot there directly, surviving os._exit.
+    # The parallel heartbeat array holds the monotonic instant each task
+    # started, which is what the watchdog judges staleness against
+    # (CLOCK_MONOTONIC is system-wide, so parent and workers compare).
     current = context.Array("i", max_workers + max_respawns, lock=False)
+    heartbeats = context.Array("d", max_workers + max_respawns, lock=False)
     for index in range(len(current)):
         current[index] = _IDLE
+        heartbeats[index] = 0.0
 
     def spawn(index: int):
         worker = context.Process(
             target=_worker_main,
-            args=(skeleton, specs, config, task_queue, result_queue, current, index),
+            args=(
+                skeleton, specs, config, task_queue, result_queue,
+                current, heartbeats, index,
+            ),
             daemon=True,
             name=f"repro-shard-{index}",
         )
@@ -394,6 +435,34 @@ def run_sharded(
             point=points[slot], error=message, attempts=tried
         )
 
+    def kill_stale_workers() -> None:
+        """Watchdog: SIGKILL workers whose heartbeat outran the deadline.
+
+        This is the enforcement path the dead-worker reaper cannot cover —
+        a worker stuck in non-cooperative native code never raises and
+        never dies on its own.  The kill turns it into an ordinary dead
+        worker, so the existing requeue/respawn/quarantine machinery
+        absorbs the point.
+        """
+        if point_timeout_s is None:
+            return
+        stale_after = point_timeout_s + _WATCHDOG_GRACE_S
+        now = time.monotonic()
+        for index, worker in list(workers.items()):
+            slot = current[index]
+            beat = heartbeats[index]
+            if slot == _IDLE or beat <= 0.0 or not worker.is_alive():
+                continue
+            if now - beat > stale_after:
+                run.timeouts += 1
+                logger.warning(
+                    "watchdog: %s stuck on point %s for %.1fs "
+                    "(deadline %.1fs); sending SIGKILL",
+                    worker.name, points[slot], now - beat, point_timeout_s,
+                )
+                worker.kill()
+                worker.join(timeout=5.0)
+
     try:
         for index in range(max_workers):
             workers[index] = spawn(index)
@@ -403,7 +472,17 @@ def run_sharded(
         next_slot = 0
         in_flight = 0
         window = 2 * max_workers
+        last_watchdog = time.monotonic()
         while True:
+            # Run the watchdog even when results are flowing steadily (the
+            # queue.Empty branch below would otherwise be starved by busy
+            # healthy workers while one worker sits stuck).
+            if (
+                point_timeout_s is not None
+                and time.monotonic() - last_watchdog > 1.0
+            ):
+                kill_stale_workers()
+                last_watchdog = time.monotonic()
             while (
                 next_slot < total
                 and in_flight < window
@@ -418,6 +497,9 @@ def run_sharded(
             try:
                 kind, slot, payload = result_queue.get(timeout=1.0)
             except queue_module.Empty:
+                # Watchdog first: a stuck worker becomes a dead worker,
+                # then the reaper below recovers its point.
+                kill_stale_workers()
                 # Reap dead workers: requeue their in-flight points and
                 # spawn replacements while the budget lasts.
                 dead = [
@@ -474,7 +556,9 @@ def run_sharded(
                 run.records[slot] = payload
                 in_flight -= 1
             elif kind == "error":
-                message, retryable = payload
+                message, retryable, timed_out = payload
+                if timed_out:
+                    run.timeouts += 1
                 tried = attempts.get(slot, 0) + 1
                 if (
                     retryable

@@ -398,6 +398,11 @@ class ResultStore:
             # Claimed: we are the one computer for this key.
             os.close(fd)
             try:
+                # Crash seam: an injected ``kind="exit"`` here simulates a
+                # kill -9 between claiming and publishing — the orphaned
+                # claim file is exactly what ``repro fsck`` must repair
+                # (an ordinary raise still unlinks it in the finally).
+                inject("store.claim", {"key": key})
                 record = self._read_disk(key)
                 if record is not None:
                     with self._lock:
@@ -507,7 +512,7 @@ def _store_group(root: Path, path: Path) -> str:
 def _iter_entries(root: Path):
     """Yield ``(path, stat)`` for every entry file under ``root``."""
     for path in sorted(root.rglob("*")):
-        if not path.is_file():
+        if not path.is_file() or ".quarantine" in path.parts:
             continue
         if path.suffix in _ENTRY_SUFFIXES:
             try:
@@ -519,7 +524,7 @@ def _iter_entries(root: Path):
 def _iter_strays(root: Path):
     """Yield leftover temp/claim files (crashed writers leave these)."""
     for path in sorted(root.rglob("*")):
-        if not path.is_file():
+        if not path.is_file() or ".quarantine" in path.parts:
             continue
         if path.suffix == ".lock" or ".tmp." in path.name:
             yield path
@@ -547,6 +552,7 @@ def prune_store(
     max_size_mb: Optional[float] = None,
     now: Optional[float] = None,
     dry_run: bool = False,
+    min_age_s: float = 60.0,
 ) -> PruneReport:
     """Prune an on-disk store by age and/or total size.
 
@@ -554,8 +560,10 @@ def prune_store(
     still larger than ``max_size_mb``, the oldest remaining entries (by
     mtime) go next until it fits.  Stale ``.tmp.*`` and ``.lock`` files
     older than :data:`STALE_CLAIM_S` are always cleaned up.  Pruning is
-    safe against live stores: a concurrently re-inserted entry simply
-    reappears on the next run's write.
+    safe against live stores: entries younger than ``min_age_s`` are never
+    touched (so a blob a concurrent writer just published, or a claim it
+    just took, cannot be deleted out from under it), and a concurrently
+    re-inserted entry simply reappears on the next run's write.
 
     Args:
         root: Store directory.
@@ -564,12 +572,15 @@ def prune_store(
         now: Reference time (``time.time()`` when omitted; injectable for
             tests).
         dry_run: Report what would be removed without deleting anything.
+        min_age_s: Live-writer guard — entries newer than this survive any
+            age or size pressure.
     """
     root = Path(root)
     report = PruneReport()
     if not root.exists():
         return report
     reference = time.time() if now is None else now
+    fresh_after = reference - min_age_s
 
     entries: List[Tuple[Path, float, int]] = [
         (path, stat.st_mtime, stat.st_size) for path, stat in _iter_entries(root)
@@ -581,7 +592,7 @@ def prune_store(
     if max_age_days is not None:
         cutoff = reference - max_age_days * 86400.0
         for path, mtime, size in entries:
-            if mtime < cutoff:
+            if mtime < cutoff and mtime <= fresh_after:
                 doomed.append((path, size))
             else:
                 survivors.append((path, mtime, size))
@@ -593,7 +604,11 @@ def prune_store(
         total = sum(size for _path, _mtime, size in survivors)
         index = 0
         while total > budget and index < len(survivors):
-            path, _mtime, size = survivors[index]
+            path, mtime, size = survivors[index]
+            if mtime > fresh_after:
+                # Oldest-first order: everything from here on is fresher
+                # still, so nothing else is prunable under the guard.
+                break
             doomed.append((path, size))
             total -= size
             index += 1

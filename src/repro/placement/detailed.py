@@ -11,6 +11,7 @@ the layout.
 from __future__ import annotations
 
 
+from ..deadlines import check_active
 from ..netlist import CellInstance
 from .placement import Placement, Row
 
@@ -170,6 +171,9 @@ def improve_placement(placement: Placement, max_passes: int = 2) -> int:
     for _ in range(max_passes):
         swaps = 0
         for row in placement.rows:
+            # Cooperative cancellation between rows: a pass over a large
+            # design is the placer's long-running unit of work.
+            check_active("placement.detailed")
             swaps += improve_row(placement, row)
         total += swaps
         if swaps == 0:

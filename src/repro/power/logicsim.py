@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..deadlines import check_active
 from ..engine import resolve_engine
 from ..netlist import CellInstance, Netlist
 from .vectors import VectorSet
@@ -162,6 +163,9 @@ class LogicSimulator:
         have_prev = False
 
         for cycle in range(num_cycles):
+            # Cooperative cancellation between cycles (one whole-netlist
+            # level batch is the compiled engine's unit of work).
+            check_active("power.logicsim")
             values[pi_slot_arr] = pi_stack[:, cycle]
             values[comp.seq_q_slot] = state
             comp.evaluate_levels(values)
@@ -221,6 +225,7 @@ class LogicSimulator:
         values: Dict[str, np.ndarray] = {}
 
         for cycle in range(num_cycles):
+            check_active("power.logicsim")
             values = self._evaluate_cycle(vectors, state, cycle, batch)
 
             if cycle >= warmup_cycles:

@@ -91,8 +91,10 @@ class SweepClient:
     Args:
         host: Server host.
         port: Server port.
-        timeout: Socket timeout per request (sweeps block until the
-            server has solved every requested point).
+        timeout: End-to-end deadline per request.  It bounds the socket
+            wait locally *and* travels with sweep requests as
+            ``timeout_s``, so the server stops waiting on points this
+            client will no longer collect.
         retry_policy: Connection retry behaviour; defaults to three
             attempts with short deterministic backoff.  Pass
             ``RetryPolicy()`` (one attempt) to fail fast.
@@ -105,6 +107,8 @@ class SweepClient:
         timeout: float = 600.0,
         retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -172,6 +176,7 @@ class SweepClient:
                 "strategies": list(strategies),
                 "overheads": [float(value) for value in overheads],
                 "analyze_timing": analyze_timing,
+                "timeout_s": self.timeout,
             }
         )
         records = [CampaignRecord.from_dict(row) for row in response["records"]]

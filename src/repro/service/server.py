@@ -35,13 +35,15 @@ import socketserver
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import Future
+from concurrent.futures import Future, TimeoutError as FuturesTimeoutError
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..core import resolve_strategy
+from ..deadlines import Deadline, deadline_scope
 from ..faults import inject
 from ..flow.cache import SolverCache
 from ..flow.experiment import ExperimentSetup
+from ..flow.recover import recover_store
 from ..flow.runner import Campaign, CampaignPoint, CampaignRecord, FailedPoint
 from ..flow.store import ResultStore
 
@@ -55,13 +57,14 @@ PROTOCOL = "repro-sweep/1"
 class _Task:
     """One point a request is waiting on, with its fan-out future."""
 
-    __slots__ = ("key", "point", "analyze_timing", "future")
+    __slots__ = ("key", "point", "analyze_timing", "future", "created_at")
 
     def __init__(self, key: str, point: CampaignPoint, analyze_timing: bool) -> None:
         self.key = key
         self.point = point
         self.analyze_timing = analyze_timing
         self.future: "Future[CampaignRecord]" = Future()
+        self.created_at = time.monotonic()
 
 
 class SweepServer:
@@ -85,7 +88,13 @@ class SweepServer:
         max_batch: Upper bound on points per gathered batch.
         max_workers: Worker threads per batch evaluation (default: CPUs).
         request_timeout_s: How long a request handler waits for its
-            points before failing the request.
+            points before failing the request.  Each gathered batch also
+            runs its solves under a deadline of the same length, so a hung
+            solve fails its batch instead of wedging the scheduler.
+        point_timeout_s: Per-point attempt budget forwarded to the
+            server's internal campaigns (see
+            :class:`~repro.flow.runner.Campaign`); ``None`` disables
+            per-point deadlines.
     """
 
     def __init__(
@@ -99,11 +108,16 @@ class SweepServer:
         max_batch: int = 256,
         max_workers: Optional[int] = None,
         request_timeout_s: float = 600.0,
+        point_timeout_s: Optional[float] = None,
     ) -> None:
         if not setups:
             raise ValueError("server requires at least one prepared setup")
         if batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
+        if request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be > 0")
+        if point_timeout_s is not None and point_timeout_s <= 0:
+            raise ValueError("point_timeout_s must be > 0")
         self.setups: Dict[str, ExperimentSetup] = dict(setups)
         self.store = result_store if result_store is not None else ResultStore()
         self.cache = cache if cache is not None else SolverCache()
@@ -111,6 +125,22 @@ class SweepServer:
         self.max_batch = max_batch
         self.max_workers = max_workers
         self.request_timeout_s = request_timeout_s
+        self.point_timeout_s = point_timeout_s
+
+        # A hard-killed predecessor may have left single-flight claims and
+        # staging debris in the shared store; clear what is provably
+        # abandoned before accepting requests, so the first sweeps do not
+        # wait out stale claims.
+        if self.store.root is not None:
+            try:
+                recovered = recover_store(self.store.root)
+                if recovered.num_repaired:
+                    logger.warning(
+                        "recovered result store %s at startup (%s)",
+                        self.store.root, recovered.summary(),
+                    )
+            except OSError as error:
+                logger.warning("store recovery pass failed: %s", error)
 
         # One batching campaign per analyze_timing flavour; both share the
         # server's setups and solver cache, so geometry reuse spans them.
@@ -245,13 +275,24 @@ class SweepServer:
                 return {"ok": True, "protocol": PROTOCOL,
                         "workloads": sorted(self.setups)}
             if op == "health":
+                now = time.monotonic()
                 with self._lock:
                     pending = len(self._pending)
+                    oldest = min(
+                        (now - task.created_at for task in self._pending.values()),
+                        default=0.0,
+                    )
                 return {
                     "ok": True,
                     "protocol": PROTOCOL,
                     "status": "draining" if self._draining.is_set() else "serving",
                     "pending": pending,
+                    # Age of the longest-waiting in-flight point: the
+                    # operator's wedge detector (compare against
+                    # request_timeout_s when alerting).
+                    "oldest_inflight_s": oldest,
+                    "request_timeout_s": self.request_timeout_s,
+                    "point_timeout_s": self.point_timeout_s,
                     "workloads": sorted(self.setups),
                 }
             if op == "stats":
@@ -283,6 +324,7 @@ class SweepServer:
                     cache=self.cache,
                     name=f"serve-batch{'-timing' if analyze_timing else ''}",
                     batch_solves=True,
+                    point_timeout_s=self.point_timeout_s,
                 )
                 self._campaigns[analyze_timing] = campaign
             return campaign
@@ -308,6 +350,19 @@ class SweepServer:
         if not strategies or not overheads:
             return {"ok": False, "error": "sweep needs strategies and overheads"}
         analyze_timing = bool(payload.get("analyze_timing", False))
+        # A client may ship its own end-to-end deadline; the server then
+        # waits no longer than the tighter of the two, so work for a
+        # caller that has already given up is failed promptly server-side.
+        timeout_s = self.request_timeout_s
+        client_timeout = payload.get("timeout_s")
+        if client_timeout is not None:
+            try:
+                client_timeout = float(client_timeout)
+            except (TypeError, ValueError):
+                return {"ok": False, "error": f"bad timeout_s: {client_timeout!r}"}
+            if client_timeout <= 0:
+                return {"ok": False, "error": "timeout_s must be > 0"}
+            timeout_s = min(timeout_s, client_timeout)
 
         campaign = self._campaign(analyze_timing)
         points = [
@@ -336,12 +391,25 @@ class SweepServer:
             self._queue.put(task)
             slots.append((None, task))
 
-        deadline = time.monotonic() + self.request_timeout_s
+        deadline = time.monotonic() + timeout_s
         records: List[CampaignRecord] = []
         for record, task in slots:
             if record is None:
                 remaining = max(0.0, deadline - time.monotonic())
-                record = task.future.result(timeout=remaining)
+                try:
+                    record = task.future.result(timeout=remaining)
+                except FuturesTimeoutError:
+                    # The request deadline elapsed while the point was
+                    # still in flight.  The task stays pending — a later
+                    # request (or the running batch) may still finish it;
+                    # only this waiter gives up.
+                    return {
+                        "ok": False,
+                        "error": (
+                            f"request deadline exceeded after {timeout_s:.1f}s "
+                            f"waiting for point {task.point}"
+                        ),
+                    }
             records.append(record)
 
         with self._lock:
@@ -390,9 +458,15 @@ class SweepServer:
             campaign = self._campaign(analyze_timing)
             points = [task.point for task in tasks.values()]
             try:
-                records = campaign.evaluate_points(
-                    points, max_workers=self.max_workers
-                )
+                # Crash seam for the kill-9 harness, then the per-batch
+                # deadline: the scheduler thread runs the grouped solves
+                # itself, so the scope bounds them directly — a hung batch
+                # fails its waiters instead of wedging the scheduler loop.
+                with deadline_scope(Deadline.after(self.request_timeout_s)):
+                    inject("service.batch", {"num_points": len(points)})
+                    records = campaign.evaluate_points(
+                        points, max_workers=self.max_workers
+                    )
             except Exception as error:
                 logger.exception("batch of %d points failed", len(points))
                 with self._lock:

@@ -57,6 +57,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from ..deadlines import check_active
 from .grid import ThermalGrid
 from .network import ThermalNetwork
 
@@ -528,6 +529,11 @@ class MultigridSolver:
         p: Optional[np.ndarray] = None
         it = 0
         while True:
+            # Cooperative cancellation: one V-cycle is the natural quantum
+            # of work here, so a non-converging solve under a deadline
+            # scope stops within one cycle instead of spinning to the
+            # iteration cap (or, with a pathological cap, forever).
+            check_active("solver.multigrid")
             r_norm = np.sqrt(self._lane_dot(r, r))
             newly_done = ~done & (r_norm <= threshold)
             iterations[newly_done] = it

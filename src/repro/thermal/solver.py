@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 import numpy as np
 import scipy.sparse.linalg as spla
 
+from ..deadlines import check_active
 from ..faults import InjectedFault, inject
 from ..placement import Placement
 from ..power import PowerReport, build_power_map, iter_cell_bins
@@ -242,6 +243,10 @@ class ThermalSolver:
             self.fallback_count += 1
             self._rhs_local.iterations = 0
             self._rhs_local.fallback = True
+            # Never start an expensive LU factorisation on an already-blown
+            # deadline; DeadlineExceeded also bypasses this except clause,
+            # so a timed-out multigrid solve can not "degrade" into LU.
+            check_active("solver.fallback")
             return self._ensure_lu().solve(rhs)
         self._rhs_local.iterations = int(iterations.max()) if iterations.size else 0
         return solution

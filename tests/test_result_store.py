@@ -362,9 +362,11 @@ class TestScanPrune:
         root = tmp_path / "store"
         self._populate(root)
         now = time.time()
-        for index in range(4):  # distinct mtimes, key00 oldest
+        for index in range(4):  # distinct mtimes, key00 oldest; all past
+            # the min_age_s live-writer guard so size pressure applies.
+            age = 100 - index
             path = root / "ke" / f"key{index:02d}{RESULT_SUFFIX}"
-            os.utime(path, (now - (10 - index), now - (10 - index)))
+            os.utime(path, (now - age, now - age))
         usage = scan_store(root)
         per_entry_mb = usage.total_bytes / 4 / 1e6
         report = prune_store(root, max_size_mb=2.5 * per_entry_mb, now=now)
@@ -375,7 +377,7 @@ class TestScanPrune:
     def test_prune_dry_run_removes_nothing(self, tmp_path):
         root = tmp_path / "store"
         self._populate(root)
-        report = prune_store(root, max_size_mb=0.0, dry_run=True)
+        report = prune_store(root, max_size_mb=0.0, dry_run=True, min_age_s=0.0)
         assert report.removed == 4
         assert scan_store(root).entries == 4
 
