@@ -113,6 +113,27 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    """Argparse type for counts where zero is meaningful (e.g. retries)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
+def _quota_spec(text: str):
+    """Argparse type for ``--quota key=value[,...]`` (validated up front)."""
+    from .service import ClientQuota
+
+    try:
+        return ClientQuota.parse(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def _strategy_spec(text: str) -> str:
     """Argparse type for a single strategy spec, validated up front.
 
@@ -398,6 +419,14 @@ def run_serve(args: argparse.Namespace) -> int:
     """Start the long-running sweep daemon (see :mod:`repro.service`)."""
     from .service import SweepServer
 
+    auth_token = None
+    if args.auth_token_file is not None:
+        try:
+            auth_token = args.auth_token_file.read_text().strip()
+        except OSError as error:
+            raise ValueError(f"cannot read --auth-token-file: {error}") from None
+        if not auth_token:
+            raise ValueError(f"--auth-token-file {args.auth_token_file} is empty")
     flow = _build_flow(args)
     setups = {}
     for short_name in args.workloads:
@@ -416,11 +445,28 @@ def run_serve(args: argparse.Namespace) -> int:
         max_workers=args.jobs,
         request_timeout_s=args.request_timeout,
         point_timeout_s=args.point_timeout,
+        auth_token=auth_token,
+        quota=args.quota,
+        max_inflight_points=args.max_inflight_points,
+        max_pending_requests=args.max_pending_requests,
+        max_request_bytes=args.max_request_bytes,
+        max_rss_mb=args.max_rss_mb,
+        artifact_store=flow.store,
     )
     host, port = server.address
+    guards = []
+    if auth_token:
+        guards.append("token auth")
+    if args.quota is not None:
+        guards.append("per-client quotas")
+    if args.max_inflight_points is not None:
+        guards.append(f"max {args.max_inflight_points} in-flight points")
+    if args.max_rss_mb is not None:
+        guards.append(f"{args.max_rss_mb:g} MB memory budget")
     print(f"repro serve: listening on {host}:{port}, "
           f"workloads {sorted(setups)}"
-          + (f", result store {args.result_store}" if args.result_store else ""))
+          + (f", result store {args.result_store}" if args.result_store else "")
+          + (f" [{', '.join(guards)}]" if guards else ""))
     try:
         server.serve_forever()
         # A protocol-op shutdown runs on a background thread; a draining
@@ -435,9 +481,23 @@ def run_serve(args: argparse.Namespace) -> int:
 
 def run_submit(args: argparse.Namespace) -> int:
     """Submit one sweep request to a running ``repro serve`` daemon."""
-    from .service import ServiceError, SweepClient
+    from .faults import RetryPolicy
+    from .service import AuthError, ServiceError, SweepClient
 
-    client = SweepClient(args.host, args.port, timeout=args.timeout)
+    token = args.token
+    if token is None and args.token_file is not None:
+        try:
+            token = args.token_file.read_text().strip()
+        except OSError as error:
+            raise ValueError(f"cannot read --token-file: {error}") from None
+    client = SweepClient(
+        args.host, args.port, timeout=args.timeout,
+        retry_policy=RetryPolicy(
+            max_attempts=args.max_retries + 1, backoff_s=0.05
+        ),
+        token=token,
+        client_id=args.client_id,
+    )
     try:
         workload = args.workload
         if workload is None:
@@ -453,6 +513,11 @@ def run_submit(args: argparse.Namespace) -> int:
             overheads=tuple(args.overheads),
             analyze_timing=args.timing,
         )
+    except AuthError:
+        print(f"repro submit: error: server {args.host}:{args.port} "
+              f"rejected the auth token (pass --token/--token-file matching "
+              f"the server's --auth-token-file)", file=sys.stderr)
+        return 2
     except ServiceError as error:
         print(f"repro submit: error: {error}", file=sys.stderr)
         return 2
@@ -483,10 +548,23 @@ def run_cache(args: argparse.Namespace) -> int:
             continue
         if args.action == "stats":
             usage = scan_store(root)
+            budget = ""
+            if args.budget_mb is not None:
+                # Byte usage against the operator's configured budget —
+                # the capacity-planning view of `repro cache prune
+                # --max-size-mb` and the serve-side memory governor.
+                used_mb = usage.total_bytes / 1e6
+                percent = 100.0 * used_mb / args.budget_mb
+                budget = (f" — {percent:.0f}% of {args.budget_mb:g} MB "
+                          f"budget")
+                if used_mb > args.budget_mb:
+                    budget += " (OVER)"
+                    status = max(status, 1)
             print(f"{root}: {usage.entries} entries, "
                   f"{usage.total_bytes / 1e6:.2f} MB"
                   + (f", {usage.stray_files} stray file(s)"
-                     if usage.stray_files else ""))
+                     if usage.stray_files else "")
+                  + budget)
             for group in sorted(usage.by_group):
                 count, size = usage.by_group[group]
                 print(f"  {group:<12} {count:6d} entries  {size / 1e6:9.2f} MB")
@@ -691,6 +769,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="deadline per grid-point attempt inside served batches; "
              "timed-out points are quarantined, not hung (default: none)",
     )
+    serve.add_argument(
+        "--auth-token-file", type=Path, default=None, metavar="FILE",
+        help="require clients to present the shared secret stored in FILE "
+             "(submit --token/--token-file); default: no auth",
+    )
+    serve.add_argument(
+        "--quota", type=_quota_spec, default=None, metavar="SPEC",
+        help="per-client limits as key=value[,key=value...]: "
+             "requests_per_s, burst, max_points_per_request, "
+             "max_inflight_points (e.g. "
+             "'requests_per_s=5,max_inflight_points=64')",
+    )
+    serve.add_argument(
+        "--max-inflight-points", type=_positive_int, default=None,
+        metavar="N",
+        help="hard cap on in-flight point futures across all clients; "
+             "when full, queued points closest to their deadline are "
+             "shed first (default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-pending-requests", type=_positive_int, default=None,
+        metavar="N",
+        help="cap on sweep requests served concurrently (default: "
+             "unbounded)",
+    )
+    serve.add_argument(
+        "--max-request-bytes", type=_positive_int, default=1_048_576,
+        metavar="BYTES",
+        help="largest accepted request line; longer frames get a "
+             "structured payload_too_large error (default: 1 MiB)",
+    )
+    serve.add_argument(
+        "--max-rss-mb", type=_positive_float, default=None, metavar="MB",
+        help="process memory budget: above 80%% the in-memory caches "
+             "shrink, at 100%% the server sheds work until pressure "
+             "clears (default: no budget)",
+    )
     serve.set_defaults(handler=run_serve)
 
     submit = subparsers.add_parser(
@@ -727,6 +842,27 @@ def build_parser() -> argparse.ArgumentParser:
              "forwarded to the server as timeout_s (default: 600)",
     )
     submit.add_argument(
+        "--token", default=None, metavar="SECRET",
+        help="shared-secret auth token for a server started with "
+             "--auth-token-file",
+    )
+    submit.add_argument(
+        "--token-file", type=Path, default=None, metavar="FILE",
+        help="read the auth token from FILE (first line, stripped); "
+             "--token wins when both are given",
+    )
+    submit.add_argument(
+        "--client-id", default=None, metavar="NAME",
+        help="identity for per-client quotas and fair scheduling "
+             "(default: hostname:pid)",
+    )
+    submit.add_argument(
+        "--max-retries", type=_nonnegative_int, default=4, metavar="N",
+        help="retries after throttled/shed rejections or connection "
+             "failures, honoring the server's retry_after_s hint "
+             "(default: 4)",
+    )
+    submit.add_argument(
         "--out", type=Path, default=Path("results"),
         help="directory for result files (default: results/)",
     )
@@ -759,6 +895,11 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--max-size-mb", type=float, default=None, metavar="MB",
         help="prune: then remove oldest entries until the store fits MB",
+    )
+    cache.add_argument(
+        "--budget-mb", type=_positive_float, default=None, metavar="MB",
+        help="stats: report byte usage against a configured budget "
+             "(exit 1 when a store exceeds it)",
     )
     cache.add_argument(
         "--dry-run", action="store_true",

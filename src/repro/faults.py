@@ -19,6 +19,14 @@ or process scheduling.
 runner, the shard parent, and the service client: max attempts,
 exponential backoff with *deterministic* jitter (hash of a token, not
 wall-clock randomness), and retryable-exception classification.
+
+The service tier adds *overload* seams on top of the crash/hang ones:
+``service.admit`` (a fault becomes a deterministic throttle rejection),
+``service.queue`` (a fault sheds the request at enqueue time), and
+``governor.pressure`` (a fault simulates an exhausted memory budget) —
+so a seeded plan can drive burst storms and memory pressure without
+real load, and :meth:`RetryPolicy.delay_for` closes the loop by
+honoring the server's ``retry_after_s`` floor on the client side.
 """
 
 from __future__ import annotations
@@ -417,3 +425,22 @@ class RetryPolicy:
         ).digest()
         jitter = int.from_bytes(digest, "big") / 2.0**64
         return base * (1.0 + self.jitter_fraction * jitter)
+
+    def delay_for(
+        self,
+        attempt: int,
+        token: str = "",
+        retry_after_s: Optional[float] = None,
+    ) -> float:
+        """Backoff honoring a server-provided floor.
+
+        The sweep service's 429-style rejections carry a deterministic
+        ``retry_after_s`` — the earliest instant the server promises
+        capacity is plausible (e.g. its token-bucket refill time).
+        Retrying earlier is wasted work, so the delay is the *larger* of
+        the policy's own backoff and that floor.
+        """
+        delay = self.delay_s(attempt, token)
+        if retry_after_s is not None and retry_after_s > delay:
+            return float(retry_after_s)
+        return delay

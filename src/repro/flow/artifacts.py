@@ -573,6 +573,23 @@ class ArtifactStore:
         with self._lock:
             self._memory.clear()
 
+    def shrink(self, max_entries: int) -> int:
+        """Evict least-recently-used entries until at most ``max_entries``.
+
+        The LRU shrink hook for the service tier's resource governor:
+        under memory pressure it trims the memory tier in place without
+        touching the disk tier or ``maxsize`` (set ``maxsize`` separately
+        to stop re-growth).  Returns the number of entries evicted.
+        """
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        evicted = 0
+        with self._lock:
+            while len(self._memory) > max_entries:
+                self._memory.popitem(last=False)
+                evicted += 1
+        return evicted
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._memory)

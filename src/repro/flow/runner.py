@@ -816,26 +816,33 @@ class Campaign:
         live_points = [points[index] for index in live]
         prepared = [transformed[index][0] for index in live]
         prep_time = [transformed[index][1] for index in live]
+        # ``prepared`` now owns the only references we need; dropping the
+        # transform results lets each point's placement/solver state be
+        # reclaimed as soon as its slot below is released.
+        transformed = None
 
         maps, solve_time, solve_failed = self._solve_groups(live_points, prepared)
 
-        finished = _map_indexed(
-            lambda pos, point: (
-                solve_failed[pos]
-                if pos in solve_failed
-                else None
-                if maps[pos] is None or self._stop_event.is_set()
-                else self._guarded_point(
-                    point,
-                    lambda attempt, pos=pos, point=point: self._finish(
-                        live[pos], total, point, prepared[pos], maps[pos],
-                        prep_time[pos] + solve_time[pos],
-                    ),
-                )
-            ),
-            live_points,
-            max_workers,
-        )
+        def _finish_and_release(pos: int, point: CampaignPoint):
+            if pos in solve_failed:
+                return solve_failed[pos]
+            if maps[pos] is None or self._stop_event.is_set():
+                return None
+            record = self._guarded_point(
+                point,
+                lambda attempt: self._finish(
+                    live[pos], total, point, prepared[pos], maps[pos],
+                    prep_time[pos] + solve_time[pos],
+                ),
+            )
+            # Backpressure for huge served batches: a finished point's
+            # prepared evaluation and thermal map are released immediately
+            # instead of pinning the whole batch's peak until it returns.
+            prepared[pos] = None
+            maps[pos] = None
+            return record
+
+        finished = _map_indexed(_finish_and_release, live_points, max_workers)
         for pos, index in enumerate(live):
             records[index] = finished[pos]
         return records

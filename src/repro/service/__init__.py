@@ -9,9 +9,38 @@ the result store, deduplicates identical in-flight points *across
 requests*, and funnels the remaining misses through a gather window into
 cross-request, geometry-grouped multi-RHS batches — many small requests
 amortized into a few big warm-started solves.
+
+The front door is overload-safe: :class:`AdmissionController` enforces
+optional shared-secret auth and per-client quotas
+(:class:`ClientQuota`), the gather queue is fair across clients and
+sheds oldest-deadline work when the in-flight bound is hit, and
+:class:`ResourceGovernor` degrades the in-memory caches gracefully
+against a configured RSS budget.  Rejections are structured 429-style
+responses with a deterministic ``retry_after_s`` that
+:class:`SweepClient` honors (:class:`ThrottledError` after retries run
+out; :class:`AuthError` for a bad token).
 """
 
-from .client import ServiceError, SweepClient, request_once
+from .admission import AdmissionController, AdmissionError, ClientQuota
+from .client import (
+    AuthError,
+    ServiceError,
+    SweepClient,
+    ThrottledError,
+    request_once,
+)
+from .governor import ResourceGovernor
 from .server import SweepServer
 
-__all__ = ["SweepServer", "SweepClient", "ServiceError", "request_once"]
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "AuthError",
+    "ClientQuota",
+    "ResourceGovernor",
+    "ServiceError",
+    "SweepClient",
+    "SweepServer",
+    "ThrottledError",
+    "request_once",
+]

@@ -1,0 +1,498 @@
+"""Admission control for the sweep daemon: identity, quotas, backpressure.
+
+The server's three-tier request path (store hit, in-flight join, batched
+solve) assumes work actually *fits*: PR 7's daemon accepted unbounded
+concurrent sweeps from anonymous clients, so one greedy 10k-point request
+could monopolise the batch window and OOM the process.  This module is the
+front door that makes load survivable:
+
+* :class:`AdmissionController` — optional shared-secret auth, per-client
+  identity, and per-client quotas (requests/sec token bucket, max points
+  per request, max in-flight points).  Rejections are structured
+  429-style :class:`AdmissionError` values carrying a deterministic
+  ``retry_after_s`` the client honours (see
+  :meth:`~repro.faults.RetryPolicy.delay_for`).
+* :class:`FairTaskQueue` — the gather-window queue, ordered round-robin
+  across clients so a 3-point sweep interleaves with a 10k-point one
+  instead of queueing behind it, with oldest-deadline-first shedding when
+  the in-flight bound is hit.
+
+Fault seam: ``service.admit`` fires once per admission check, so a seeded
+:class:`~repro.faults.FaultPlan` can drive burst storms deterministically
+(an injected fault is converted into a throttle rejection, never an
+unstructured error).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..faults import InjectedFault, inject
+
+#: Rejection codes a client may retry after ``retry_after_s``; everything
+#: else (bad token, oversized request spec) will fail the same way again.
+RETRYABLE_CODES = frozenset({"throttled", "quota", "overloaded", "shed", "pressure"})
+
+
+class AdmissionError(Exception):
+    """A structured 429-style rejection from the service front door.
+
+    Attributes:
+        code: Machine-readable reason — ``auth``, ``too_many_points``,
+            ``throttled``, ``quota``, ``overloaded``, ``shed``,
+            ``pressure``, or ``payload_too_large``.
+        retry_after_s: When set, the server promises capacity is plausible
+            after this many seconds; clients must wait at least this long
+            before retrying (the retry_after contract).
+        retryable: Whether retrying the identical request can succeed.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        retry_after_s: Optional[float] = None,
+        retryable: Optional[bool] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after_s = retry_after_s
+        self.retryable = retryable if retryable is not None else code in RETRYABLE_CODES
+
+    def to_response(self) -> Dict[str, object]:
+        """The wire form: an error object the protocol returns verbatim."""
+        response: Dict[str, object] = {
+            "ok": False,
+            "error": str(self),
+            "code": self.code,
+            "retryable": self.retryable,
+        }
+        if self.retry_after_s is not None:
+            response["retry_after_s"] = round(float(self.retry_after_s), 6)
+        return response
+
+
+@dataclass(frozen=True)
+class ClientQuota:
+    """Per-client limits enforced by :class:`AdmissionController`.
+
+    All fields are optional; ``None`` disables that limit, so
+    ``ClientQuota()`` admits everything (the PR 7 behaviour).
+
+    Args:
+        max_inflight_points: Points one client may have in flight across
+            its concurrent requests.
+        max_points_per_request: Grid-size cap per sweep request (larger
+            sweeps must be split client-side; not retryable).
+        requests_per_s: Sustained request rate per client, enforced by a
+            token bucket.
+        burst: Bucket depth — how many requests may arrive back-to-back
+            before the rate limit bites (default: ``ceil(requests_per_s)``,
+            at least 1).
+    """
+
+    max_inflight_points: Optional[int] = None
+    max_points_per_request: Optional[int] = None
+    requests_per_s: Optional[float] = None
+    burst: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_inflight_points", "max_points_per_request", "burst"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be > 0, got {value}")
+        if self.requests_per_s is not None and self.requests_per_s <= 0:
+            raise ValueError(
+                f"requests_per_s must be > 0, got {self.requests_per_s}"
+            )
+        if self.burst is not None and self.requests_per_s is None:
+            raise ValueError("burst requires requests_per_s")
+
+    @property
+    def bucket_size(self) -> Optional[float]:
+        if self.requests_per_s is None:
+            return None
+        if self.burst is not None:
+            return float(self.burst)
+        return float(max(1, int(-(-self.requests_per_s // 1))))
+
+    @classmethod
+    def parse(cls, text: str) -> "ClientQuota":
+        """Parse the CLI spec ``key=value[,key=value...]``.
+
+        Keys match the field names (``rate`` is accepted as shorthand
+        for ``requests_per_s``); e.g.
+        ``"rate=5,max_inflight_points=64,burst=10"``.
+
+        Raises:
+            ValueError: Unknown key, malformed pair, or non-positive value.
+        """
+        fields = {
+            "max_inflight_points": int,
+            "max_points_per_request": int,
+            "requests_per_s": float,
+            "burst": int,
+        }
+        aliases = {"rate": "requests_per_s"}
+        values: Dict[str, object] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad quota entry {part!r}; expected key=value"
+                )
+            key, _, raw = part.partition("=")
+            key = aliases.get(key.strip(), key.strip())
+            if key not in fields:
+                raise ValueError(
+                    f"unknown quota key {key!r}; "
+                    f"expected one of {sorted(fields)}"
+                )
+            try:
+                values[key] = fields[key](raw.strip())
+            except ValueError:
+                raise ValueError(
+                    f"bad quota value for {key}: {raw.strip()!r}"
+                ) from None
+        if not values:
+            raise ValueError("empty quota spec")
+        return cls(**values)  # type: ignore[arg-type]
+
+
+class _ClientState:
+    """Mutable per-client accounting (guarded by the controller lock)."""
+
+    __slots__ = (
+        "inflight_points", "tokens", "refilled_at",
+        "requests", "admitted", "throttled", "rejected", "shed",
+    )
+
+    def __init__(self, bucket_size: Optional[float], now: float) -> None:
+        self.inflight_points = 0
+        self.tokens = bucket_size  # None when no rate limit
+        self.refilled_at = now
+        self.requests = 0
+        self.admitted = 0
+        self.throttled = 0
+        self.rejected = 0
+        self.shed = 0
+
+
+class AdmissionController:
+    """Front-door policy for :class:`~repro.service.server.SweepServer`.
+
+    Thread-safe; every public method may be called from concurrent
+    request-handler threads.  With no quota and no token configured the
+    controller is a near-free pass-through (one lock round-trip and a
+    fault-seam probe per request).
+
+    Args:
+        quota: Per-client limits applied uniformly to every client
+            identity; ``None`` admits everything.
+        auth_token: Shared secret; when set, protected ops must carry a
+            matching ``token`` field.  Identity (the ``client`` field)
+            remains self-reported — the token gates admission, it does
+            not prove who a client is.
+        retry_after_s: Baseline retry hint attached to quota/overload
+            rejections that have no better estimate (rate-limit
+            rejections compute the exact token-bucket refill time).
+        clock: Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        quota: Optional[ClientQuota] = None,
+        auth_token: Optional[str] = None,
+        retry_after_s: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if retry_after_s <= 0:
+            raise ValueError(f"retry_after_s must be > 0, got {retry_after_s}")
+        self.quota = quota
+        self.auth_token = auth_token
+        self.retry_after_s = retry_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._clients: Dict[str, _ClientState] = {}
+        self.admitted_total = 0
+        self.throttled_total = 0
+        self.rejected_total = 0
+        self.shed_total = 0
+
+    # -- identity and auth ---------------------------------------------------
+
+    def authenticate(self, payload: Dict[str, object], client: str) -> None:
+        """Check the shared secret (no-op when the server has none).
+
+        Raises:
+            AdmissionError: ``code="auth"`` (not retryable) on a missing
+                or wrong token.
+        """
+        if self.auth_token is None:
+            return
+        token = payload.get("token")
+        if isinstance(token, str) and _constant_time_eq(token, self.auth_token):
+            return
+        self.note_rejected(client)
+        raise AdmissionError(
+            "auth",
+            "bad or missing auth token (pass submit --token / "
+            "SweepClient(token=...))",
+            retryable=False,
+        )
+
+    # -- quota admission -----------------------------------------------------
+
+    def admit(self, client: str, num_points: int) -> None:
+        """Admit ``num_points`` for ``client`` or raise a structured rejection.
+
+        On success the client's in-flight count is charged; the caller
+        must balance every successful ``admit`` with :meth:`release`.
+        """
+        now = self._clock()
+        with self._lock:
+            state = self._state(client, now)
+            state.requests += 1
+            try:
+                # Chaos seam: a seeded plan converts a fault here into a
+                # deterministic throttle, driving burst storms on demand.
+                inject("service.admit", {
+                    "client": client, "num_points": num_points,
+                })
+            except InjectedFault as fault:
+                state.throttled += 1
+                self.throttled_total += 1
+                raise AdmissionError(
+                    "throttled",
+                    f"request throttled (fault injection: {fault})",
+                    retry_after_s=self.retry_after_s,
+                ) from None
+            quota = self.quota
+            if quota is None:
+                state.admitted += 1
+                self.admitted_total += 1
+                state.inflight_points += num_points
+                return
+            if (
+                quota.max_points_per_request is not None
+                and num_points > quota.max_points_per_request
+            ):
+                state.rejected += 1
+                self.rejected_total += 1
+                raise AdmissionError(
+                    "too_many_points",
+                    f"request asks for {num_points} points; per-request "
+                    f"quota is {quota.max_points_per_request} "
+                    f"(split the sweep)",
+                    retryable=False,
+                )
+            wait = self._take_token(state, now)
+            if wait is not None:
+                state.throttled += 1
+                self.throttled_total += 1
+                raise AdmissionError(
+                    "throttled",
+                    f"client {client!r} exceeds {quota.requests_per_s}/s",
+                    retry_after_s=wait,
+                )
+            if (
+                quota.max_inflight_points is not None
+                and state.inflight_points + num_points
+                > quota.max_inflight_points
+            ):
+                state.throttled += 1
+                self.throttled_total += 1
+                raise AdmissionError(
+                    "quota",
+                    f"client {client!r} has {state.inflight_points} "
+                    f"point(s) in flight; admitting {num_points} more "
+                    f"would exceed its quota of "
+                    f"{quota.max_inflight_points}",
+                    retry_after_s=self.retry_after_s,
+                )
+            state.admitted += 1
+            self.admitted_total += 1
+            state.inflight_points += num_points
+
+    def release(self, client: str, num_points: int) -> None:
+        """Return in-flight credit charged by a successful :meth:`admit`."""
+        with self._lock:
+            state = self._clients.get(client)
+            if state is not None:
+                state.inflight_points = max(0, state.inflight_points - num_points)
+
+    def _state(self, client: str, now: float) -> _ClientState:
+        state = self._clients.get(client)
+        if state is None:
+            bucket = self.quota.bucket_size if self.quota else None
+            state = _ClientState(bucket, now)
+            self._clients[client] = state
+        return state
+
+    def _take_token(self, state: _ClientState, now: float) -> Optional[float]:
+        """Take one rate token; return the deterministic wait when empty.
+
+        The returned wait is exactly the token-bucket refill time
+        ``(1 - tokens) / rate`` — the server-side half of the
+        retry_after contract.
+        """
+        quota = self.quota
+        if quota is None or quota.requests_per_s is None:
+            return None
+        bucket = quota.bucket_size or 1.0
+        elapsed = max(0.0, now - state.refilled_at)
+        tokens = state.tokens if state.tokens is not None else bucket
+        tokens = min(bucket, tokens + elapsed * quota.requests_per_s)
+        state.refilled_at = now
+        if tokens >= 1.0:
+            state.tokens = tokens - 1.0
+            return None
+        state.tokens = tokens
+        return (1.0 - tokens) / quota.requests_per_s
+
+    # -- shed/reject accounting (server-side capacity decisions) -------------
+
+    def note_shed(self, client: str, count: int = 1) -> None:
+        """Record work dropped for capacity (queue full, memory pressure)."""
+        with self._lock:
+            self._state(client, self._clock()).shed += count
+            self.shed_total += count
+
+    def note_rejected(self, client: str, count: int = 1) -> None:
+        """Record an outright refusal (auth failure, malformed request)."""
+        with self._lock:
+            self._state(client, self._clock()).rejected += count
+            self.rejected_total += count
+
+    # -- observability -------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "admitted_total": self.admitted_total,
+                "throttled_total": self.throttled_total,
+                "rejected_total": self.rejected_total,
+                "shed_total": self.shed_total,
+            }
+
+    def client_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-client usage for ``health()``: in-flight points + counters."""
+        with self._lock:
+            return {
+                name: {
+                    "inflight_points": state.inflight_points,
+                    "requests": state.requests,
+                    "admitted": state.admitted,
+                    "throttled": state.throttled,
+                    "rejected": state.rejected,
+                    "shed": state.shed,
+                }
+                for name, state in sorted(self._clients.items())
+            }
+
+
+def _constant_time_eq(a: str, b: str) -> bool:
+    import hmac
+
+    return hmac.compare_digest(a.encode(), b.encode())
+
+
+class FairTaskQueue:
+    """Gather-window queue with per-client fairness and deadline shedding.
+
+    Items need two attributes: ``client`` (the identity that enqueued
+    them) and ``deadline`` (a monotonic instant after which their waiter
+    has given up).  :meth:`get` serves clients round-robin — each call
+    pops from the next client that has queued work — so every client's
+    head-of-line item is at most ``#clients`` pops away regardless of how
+    deep any one client's backlog is.  That is the anti-starvation half
+    of the backpressure story; :meth:`shed_before` is the load-shedding
+    half: when the in-flight bound is hit, the items closest to missing
+    their deadline anyway are dropped first, and only in favour of work
+    that would outlive them (so two retrying clients cannot shed each
+    other forever — deadlines order displacement totally).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._queues: "OrderedDict[str, Deque[object]]" = OrderedDict()
+        self._size = 0
+
+    def put(self, item: object) -> None:
+        client = getattr(item, "client", "anonymous")
+        with self._cond:
+            bucket = self._queues.get(client)
+            if bucket is None:
+                bucket = deque()
+                self._queues[client] = bucket
+            bucket.append(item)
+            self._size += 1
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[object]:
+        """Pop the next item round-robin across clients (None on timeout)."""
+        with self._cond:
+            if self._size == 0 and not self._cond.wait_for(
+                lambda: self._size > 0, timeout=timeout
+            ):
+                return None
+            client, bucket = next(iter(self._queues.items()))
+            item = bucket.popleft()
+            self._size -= 1
+            if bucket:
+                self._queues.move_to_end(client)
+            else:
+                del self._queues[client]
+            return item
+
+    def shed_before(self, deadline: float, count: int) -> List[object]:
+        """Remove up to ``count`` queued items with the earliest deadlines.
+
+        Only items whose deadline is strictly earlier than ``deadline``
+        are eligible — later-deadline work never displaces work that
+        would outlive it.  Returns the shed items, earliest first; the
+        caller owns failing their futures.
+        """
+        if count <= 0:
+            return []
+        with self._cond:
+            candidates = [
+                item
+                for bucket in self._queues.values()
+                for item in bucket
+                if getattr(item, "deadline", float("inf")) < deadline
+            ]
+            candidates.sort(key=lambda item: item.deadline)  # type: ignore[attr-defined]
+            victims = candidates[:count]
+            for item in victims:
+                client = getattr(item, "client", "anonymous")
+                bucket = self._queues.get(client)
+                if bucket is None:
+                    continue
+                try:
+                    bucket.remove(item)
+                except ValueError:
+                    continue
+                self._size -= 1
+                if not bucket:
+                    del self._queues[client]
+            return victims
+
+    def __len__(self) -> int:
+        with self._cond:
+            return self._size
+
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "ClientQuota",
+    "FairTaskQueue",
+    "RETRYABLE_CODES",
+]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import socket
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -25,6 +26,29 @@ logger = logging.getLogger(__name__)
 
 class ServiceError(RuntimeError):
     """The server answered a request with an error."""
+
+
+class AuthError(ServiceError):
+    """The server rejected this client's auth token (not retryable)."""
+
+
+class ThrottledError(ServiceError):
+    """A 429-style rejection survived every retry the policy allowed.
+
+    Attributes:
+        code: The server's rejection code (``throttled``, ``quota``,
+            ``overloaded``, ``shed``, or ``pressure``).
+        retry_after_s: The server's last retry hint, for callers that
+            implement their own scheduling on top of the client.
+    """
+
+    def __init__(
+        self, message: str, code: str = "throttled",
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after_s = retry_after_s
 
 
 def _request_raw(
@@ -97,7 +121,14 @@ class SweepClient:
             client will no longer collect.
         retry_policy: Connection retry behaviour; defaults to three
             attempts with short deterministic backoff.  Pass
-            ``RetryPolicy()`` (one attempt) to fail fast.
+            ``RetryPolicy()`` (one attempt) to fail fast.  The same
+            attempt budget covers 429-style rejections (throttled, shed,
+            overloaded): each retry waits the *larger* of the policy's
+            backoff and the server's ``retry_after_s`` hint.
+        token: Shared-secret auth token, required when the server was
+            started with ``--auth-token-file``.
+        client_id: Identity quotas and fairness are keyed by; defaults
+            to ``<hostname>:<pid>``, stable for this process.
     """
 
     def __init__(
@@ -106,6 +137,8 @@ class SweepClient:
         port: int = 7410,
         timeout: float = 600.0,
         retry_policy: Optional[RetryPolicy] = None,
+        token: Optional[str] = None,
+        client_id: Optional[str] = None,
     ) -> None:
         if timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
@@ -117,18 +150,61 @@ class SweepClient:
             if retry_policy is not None
             else RetryPolicy(max_attempts=3, backoff_s=0.05)
         )
+        self.token = token
+        self.client_id = (
+            client_id
+            if client_id is not None
+            else f"{socket.gethostname()}:{os.getpid()}"
+        )
 
     def _request(self, payload: Dict[str, object]) -> Dict[str, object]:
-        response = request_once(
-            self.host,
-            self.port,
-            payload,
-            timeout=self.timeout,
-            retry_policy=self.retry_policy,
-        )
-        if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown server error"))
-        return response
+        payload = dict(payload)
+        payload["client"] = self.client_id
+        if self.token is not None:
+            payload["token"] = self.token
+        op = payload.get("op")
+        attempt = 0
+        while True:
+            response = request_once(
+                self.host,
+                self.port,
+                payload,
+                timeout=self.timeout,
+                retry_policy=self.retry_policy,
+            )
+            if response.get("ok"):
+                return response
+            error = str(response.get("error", "unknown server error"))
+            code = response.get("code")
+            if code == "auth":
+                raise AuthError(error)
+            retry_after = response.get("retry_after_s")
+            if not response.get("retryable"):
+                raise ServiceError(error)
+            # A retryable 429-style rejection: honor the server's
+            # retry_after floor (its token-bucket refill estimate) on
+            # top of the policy's own deterministic backoff.
+            attempt += 1
+            if attempt >= self.retry_policy.max_attempts:
+                raise ThrottledError(
+                    error,
+                    code=str(code or "throttled"),
+                    retry_after_s=(
+                        float(retry_after) if retry_after is not None else None
+                    ),
+                )
+            delay = self.retry_policy.delay_for(
+                attempt,
+                token=f"client:{op}:{self.client_id}",
+                retry_after_s=(
+                    float(retry_after) if retry_after is not None else None
+                ),
+            )
+            logger.info(
+                "request %r rejected (%s); retry %d/%d in %.2fs",
+                op, code, attempt, self.retry_policy.max_attempts - 1, delay,
+            )
+            time.sleep(delay)
 
     def ping(self) -> Dict[str, object]:
         """Protocol identifier and served workloads of the daemon."""
@@ -193,4 +269,10 @@ class SweepClient:
         return CampaignResult(records=records, metadata=metadata), stats
 
 
-__all__ = ["SweepClient", "ServiceError", "request_once"]
+__all__ = [
+    "AuthError",
+    "ServiceError",
+    "SweepClient",
+    "ThrottledError",
+    "request_once",
+]
